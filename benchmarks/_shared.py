@@ -1,0 +1,23 @@
+"""Shared state for the benchmark harness.
+
+The Figure 8/9/10 benches all consume the same workload × setting grid, so
+it is computed once per pytest session and cached.  ``REPRO_BENCH_SCALE``
+scales every benchmark's message counts (default 0.25 — a few seconds per
+figure; use 1.0 for full paper-scale runs).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.eval import ComparisonResult, comparison_experiment
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", str(0xC0FFEE)))
+
+
+@lru_cache(maxsize=1)
+def comparison_grid() -> ComparisonResult:
+    """The full 8-benchmark × 4-setting grid behind Figures 8, 9 and 10."""
+    return comparison_experiment(scale=BENCH_SCALE, seed=BENCH_SEED)

@@ -1,0 +1,62 @@
+"""Section 4.5 — SRD area and power estimation.
+
+Reproduces the arithmetic of the paper's RTL-synthesis-derived estimates:
+SRD buffers 0.156 mm², total 0.170 mm² (≤15 % over VLRD, <1 % of a 16-core
+SoC); power ≤47.75 mW worst case (~0.23 % of a ~21 W SoC), with measured
+push-frequency ratios from the actual simulation feeding the model.
+"""
+
+from _shared import BENCH_SCALE, BENCH_SEED, comparison_grid
+
+from repro.eval import (
+    estimate_power,
+    estimate_srd_area,
+    estimate_vlrd_area,
+    paper_power_bounds,
+)
+from repro.eval.report import format_table
+
+
+def test_area_estimate(benchmark):
+    est = benchmark(estimate_srd_area)
+    vlrd = estimate_vlrd_area()
+    rows = [[k, f"{v:.4f}"] for k, v in est.buffers_mm2.items()]
+    rows.append(["control/other", f"{est.control_mm2:.4f}"])
+    rows.append(["TOTAL (SRD)", f"{est.total_mm2:.4f}"])
+    rows.append(["TOTAL (VLRD)", f"{vlrd.total_mm2:.4f}"])
+    print("\n" + format_table(["structure", "mm^2 @16nm"], rows,
+                              title="Section 4.5: area estimate"))
+    print(f"SRD / VLRD = {est.total_mm2 / vlrd.total_mm2:.3f} (paper: within 1.15)")
+    print(f"SRD share of 16-core SoC = {est.share_of_soc(16):.2%} (paper: <1%)")
+    assert abs(est.buffer_total_mm2 - 0.156) < 1e-9
+    assert abs(est.total_mm2 - 0.170) < 1e-9
+    assert est.total_mm2 / vlrd.total_mm2 < 1.15
+    assert est.share_of_soc(16) < 0.01
+
+
+def test_power_estimate_from_measured_push_frequency(benchmark):
+    grid = benchmark.pedantic(comparison_grid, rounds=1, iterations=1)
+    vl, zero, adapt, tuned = grid.settings
+    rows = []
+    worst = {}
+    for label in (adapt, tuned):
+        ratios = []
+        for w, per_setting in grid.metrics.items():
+            base = per_setting[vl].push_frequency
+            ratios.append(per_setting[label].push_frequency / base if base else 1.0)
+        worst[label] = max(ratios)
+        est = estimate_power(worst[label])
+        rows.append([label, f"{worst[label]:.2f}x", f"{est.total_mw:.2f} mW",
+                     f"{est.share_of_soc():.3%}"])
+    print("\n" + format_table(
+        ["setting", "push-freq vs VL (worst)", "power", "SoC share"],
+        rows, title="Section 4.5: power from measured push frequency"))
+
+    bounds = paper_power_bounds()
+    print(f"paper bounds: adapt <= {bounds['SPAMeR(adapt)'].total_mw:.2f} mW, "
+          f"tuned <= {bounds['SPAMeR(tuned)'].total_mw:.2f} mW (47.75 mW quoted)")
+    # Measured push-frequency ratios stay within the paper's worst cases.
+    assert worst[adapt] < 6.0
+    assert worst[tuned] < 6.0
+    assert bounds["SPAMeR(tuned)"].total_mw <= 47.76
+    assert bounds["SPAMeR(tuned)"].share_of_soc() < 0.0024

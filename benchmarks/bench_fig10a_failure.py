@@ -1,0 +1,31 @@
+"""Figure 10a — push failure rates.
+
+Paper: VL is ~0% almost everywhere (halo's "prerequests" excepted); 0-delay
+shows super-high failure rates on most benchmarks but not on ping-pong or
+sweep; adaptive stays under 50% on all benchmarks; tuned runs slightly
+above adaptive.
+"""
+
+from _shared import comparison_grid
+
+from repro.eval import render_fig10a
+
+
+def test_fig10a_failure_rates(benchmark):
+    grid = benchmark.pedantic(comparison_grid, rounds=1, iterations=1)
+    print("\n" + render_fig10a(grid))
+
+    vl, zero, adapt, tuned = grid.settings
+    fr = grid.failure_rates()
+
+    for w in fr:
+        assert fr[w][vl] < 0.05, (w, "VL should almost never fail")
+        assert fr[w][adapt] < 0.5, (w, "adaptive keeps failures under 50%")
+
+    # 0-delay fails hard on the backlogged benchmarks...
+    assert sum(1 for w in fr if fr[w][zero] > 0.4) >= 3
+    # ...but ping-pong and sweep "do not make many failures".
+    assert fr["ping-pong"][zero] < 0.05
+    assert fr["sweep"][zero] < 0.05
+    # incast: the paper's 32-line round-robin fill-up story.
+    assert fr["incast"][zero] > 0.5

@@ -1,0 +1,32 @@
+"""Figure 10b — bus utilization.
+
+Paper: 0-delay consumes much more bandwidth than the other algorithms on
+most benchmarks; adaptive/tuned are comparable to (or below) the VL
+baseline because successful speculation turns VL's two-way request+data
+traffic into one-way pushes.
+"""
+
+from _shared import comparison_grid
+
+from repro.eval import render_fig10b
+
+
+def test_fig10b_bus_utilization(benchmark):
+    grid = benchmark.pedantic(comparison_grid, rounds=1, iterations=1)
+    print("\n" + render_fig10b(grid))
+
+    vl, zero, adapt, _tuned = grid.settings
+    bu = grid.bus_utilizations()
+    fr = grid.failure_rates()
+
+    # 0-delay burns at least as much bandwidth as adaptive wherever its
+    # failure rate is high.
+    for w in bu:
+        if fr[w][zero] > 0.4:
+            assert bu[w][zero] >= bu[w][adapt], w
+
+    # One-way traffic: with failures under 50%, SPAMeR puts no more packets
+    # on the network than VL (Section 4.3's packet-count argument).
+    for w, per_setting in grid.metrics.items():
+        if fr[w][adapt] < 0.5:
+            assert per_setting[adapt].bus_packets <= per_setting[vl].bus_packets, w

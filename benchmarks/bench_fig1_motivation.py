@@ -1,0 +1,31 @@
+"""Figure 1 — the motivation: Lc (coherence queue) > Lv (VL) > Ls (SPAMeR).
+
+Runs the same ping-pong exchange over (a) the MOESI software queue,
+(b) Virtual-Link and (c) SPAMeR, and reports per-message latency and
+network packet counts.
+"""
+
+from _shared import BENCH_SEED  # noqa: F401 (documented reproducibility knob)
+
+from repro.eval.report import format_table
+from repro.swqueue import motivation_experiment
+
+
+def test_fig1_motivation(benchmark):
+    results = benchmark.pedantic(
+        lambda: motivation_experiment(messages=300), rounds=1, iterations=1
+    )
+    rows = [
+        [r.mechanism, f"{r.cycles_per_message:.1f}", r.coherence_packets]
+        for r in results.values()
+    ]
+    print("\n" + format_table(
+        ["mechanism", "cycles/message", "network packets"],
+        rows, title="Figure 1: cross-core message latency by mechanism"))
+
+    sw = results["software"].cycles_per_message
+    vl = results["virtual-link"].cycles_per_message
+    sp = results["spamer"].cycles_per_message
+    assert sw > vl >= sp * 0.98          # Lc > Lv >= Ls
+    assert results["spamer"].coherence_packets < results["virtual-link"].coherence_packets
+    assert results["software"].coherence_packets > results["virtual-link"].coherence_packets

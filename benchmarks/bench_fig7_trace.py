@@ -1,0 +1,49 @@
+"""Figure 7 — message-queue transaction trace of incast.
+
+Traces incast configured with a single SQI, a single consumer cacheline and
+a single producer thread; prints the five event rows per transaction and
+the paper's analysis: on-demand transactions whose fill was *hindered by
+the request arrival* (dark lines in the paper) and the saving a speculative
+push could have realised.
+"""
+
+from _shared import BENCH_SCALE, BENCH_SEED
+
+from repro.eval import standard_settings, trace_experiment
+from repro.eval.report import format_trace_rows
+
+
+def test_fig7_trace_vl(benchmark):
+    result = benchmark.pedantic(
+        lambda: trace_experiment(scale=BENCH_SCALE, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    txns = result.transactions
+    mid = txns[len(txns) // 2].line_fill or 0
+    print("\nFigure 7 (VL baseline, zoom window around t=%d):" % mid)
+    print(format_trace_rows(txns, mid - 2500, mid + 2500))
+    print(
+        f"\ntransactions={len(txns)} request-bound={result.request_bound_count} "
+        f"({result.request_bound_count / len(txns):.0%}) "
+        f"total potential speculative saving={result.total_potential_saving} cycles"
+    )
+    # The paper's observation: most on-demand fills wait on the request.
+    assert result.request_bound_count > 0.5 * len(txns)
+    assert result.speculative_count == 0
+
+
+def test_fig7_trace_spamer(benchmark):
+    spamer = standard_settings()[1]  # 0delay
+    result = benchmark.pedantic(
+        lambda: trace_experiment(setting=spamer, scale=BENCH_SCALE, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    txns = result.transactions
+    print(
+        f"\nFigure 7 (SPAMeR 0delay): transactions={len(txns)} "
+        f"speculative={result.speculative_count} (red dashed in the paper)"
+    )
+    assert result.speculative_count == len(txns)
+    assert result.total_potential_saving == 0  # nothing left on the table

@@ -1,0 +1,30 @@
+"""Figure 9 — execution-time breakdown: consumer-cacheline empty cycles.
+
+Paper: "on most benchmarks, SPAMeR cuts off some empty cycles to reduce the
+total execution time" — the win comes from pre-filling consumer lines.
+"""
+
+from _shared import comparison_grid
+
+from repro.eval import render_fig9
+
+
+def test_fig9_breakdown(benchmark):
+    grid = benchmark.pedantic(comparison_grid, rounds=1, iterations=1)
+    print("\n" + render_fig9(grid))
+
+    vl, zero, _adapt, _tuned = grid.settings
+    br = grid.breakdown()
+    sp = grid.speedups()
+
+    # Wherever SPAMeR wins clearly, the empty-cycle share shrank.
+    improved = [w for w in sp if sp[w][zero] > 1.2]
+    assert improved, "no benchmark improved - grid broken"
+    for w in improved:
+        assert br[w][zero][0] < br[w][vl][0], w
+
+    # Bars are self-consistent: empty + non-empty == execution time.
+    for w, per_setting in grid.metrics.items():
+        for label, m in per_setting.items():
+            empty, nonempty = br[w][label]
+            assert abs(empty + nonempty - m.exec_cycles) <= 1

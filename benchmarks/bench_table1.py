@@ -1,0 +1,14 @@
+"""Table 1 — the simulated hardware configuration.
+
+Regenerates the paper's Table 1 rows from :class:`SystemConfig` defaults.
+"""
+
+from repro.eval import render_table1, table1
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1)
+    print("\n" + render_table1())
+    assert rows["Cores"] == "16xAArch64 OoO CPU @ 2 GHz"
+    assert rows["DRAM"] == "8 GiB 2400 MHz DDR4"
+    assert rows["SRD"].startswith("64 entries")

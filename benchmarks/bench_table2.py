@@ -1,0 +1,16 @@
+"""Table 2 — the benchmark list with (M:N)×k queue topologies."""
+
+from repro.eval import render_table2, table2
+
+
+def test_table2(benchmark):
+    rows = benchmark(table2)
+    print("\n" + render_table2())
+    assert len(rows) == 8
+    by_name = {name: topo for name, _desc, topo in rows}
+    assert by_name["ping-pong"] == "(1:1)x2"
+    assert by_name["halo"] == "(1:1)x48"
+    assert by_name["incast"] == "(4:1)x1"
+    assert by_name["pipeline"] == "(1:4)x1+(4:4)x1+(4:1)x1+(1:1)x1"
+    assert by_name["firewall"] == "(1:1)x3+(2:1)x1"
+    assert by_name["FIR"] == "(1:1)x9"

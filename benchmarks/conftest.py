@@ -1,0 +1,8 @@
+"""pytest configuration for the benchmark harness."""
+
+import sys
+from pathlib import Path
+
+# Allow `import _shared` from bench modules when pytest is run from the
+# repository root.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,284 @@
+"""Command-line interface: regenerate any table or figure from a shell.
+
+Examples::
+
+    python -m repro table1
+    python -m repro fig8 --scale 0.25
+    python -m repro run FIR --setting tuned --trace
+    python -m repro fig11 incast --scale 0.1
+    python -m repro autotune FIR --budget 20
+    python -m repro motivation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.eval.experiments import (
+    comparison_experiment,
+    inlining_experiment,
+    render_fig8,
+    render_fig9,
+    render_fig10a,
+    render_fig10b,
+    render_table1,
+    render_table2,
+    trace_experiment,
+)
+from repro.eval.report import format_speedup, format_table, format_trace_rows
+from repro.eval.runner import Setting, run_workload, standard_settings
+from repro.spamer.delay import algorithm_by_name
+from repro.workloads.registry import workload_names
+
+SETTING_NAMES = ("vl", "0delay", "adapt", "tuned", "history", "perceptron")
+
+
+def _setting(name: str) -> Setting:
+    if name == "vl":
+        return standard_settings()[0]
+    return Setting(f"SPAMeR({name})", "spamer", lambda: algorithm_by_name(name))
+
+
+def _grid(args):
+    return comparison_experiment(scale=args.scale, seed=args.seed)
+
+
+def cmd_table1(_args) -> None:
+    print(render_table1())
+
+
+def cmd_table2(_args) -> None:
+    print(render_table2())
+
+
+def cmd_fig7(args) -> None:
+    from repro.eval.runner import run_workload_traced
+
+    if args.csv:
+        # Export the full reconstructed trace as CSV for external plotting.
+        _metrics, system = run_workload_traced(
+            "incast", _setting(args.setting), scale=args.scale, seed=args.seed
+        )
+        with open(args.csv, "w") as fh:
+            fh.write(system.trace.to_csv())
+        print(f"wrote {args.csv}")
+        return
+    result = trace_experiment(setting=_setting(args.setting), scale=args.scale,
+                              seed=args.seed)
+    txns = result.transactions
+    mid = txns[len(txns) // 2].line_fill or 0
+    print(format_trace_rows(txns, mid - args.window, mid + args.window))
+    print(
+        f"\ntransactions={len(txns)} speculative={result.speculative_count} "
+        f"request-bound={result.request_bound_count} "
+        f"potential-saving={result.total_potential_saving} cycles"
+    )
+
+
+def cmd_fig8(args) -> None:
+    print(render_fig8(_grid(args)))
+
+
+def cmd_fig9(args) -> None:
+    print(render_fig9(_grid(args)))
+
+
+def cmd_fig10a(args) -> None:
+    print(render_fig10a(_grid(args)))
+
+
+def cmd_fig10b(args) -> None:
+    print(render_fig10b(_grid(args)))
+
+
+def cmd_fig11(args) -> None:
+    from repro.eval.sweep import sensitivity_sweep
+
+    points = sensitivity_sweep(args.workload, scale=args.scale, seed=args.seed)
+    rows = [
+        [p.label, p.params.label() if p.params else "-",
+         f"{p.normalized_delay:.3f}", f"{p.normalized_energy:.3f}"]
+        for p in points
+    ]
+    print(format_table(["algorithm", "params", "delay", "energy"], rows,
+                       title=f"Figure 11 panel: {args.workload}"))
+
+
+def cmd_run(args) -> None:
+    m = run_workload(args.workload, _setting(args.setting), scale=args.scale,
+                     seed=args.seed)
+    rows = [
+        ["execution", f"{m.exec_cycles} cycles ({m.exec_ms:.3f} ms)"],
+        ["messages", m.messages_delivered],
+        ["push attempts", m.push_attempts],
+        ["push failures", f"{m.push_failures} ({m.failure_rate:.1%})"],
+        ["speculative pushes", m.spec_pushes],
+        ["bus utilization", f"{m.bus_utilization:.1%}"],
+        ["avg line empty cycles", f"{m.avg_line_empty:.0f}"],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.workload} under {_setting(args.setting).label}"))
+
+
+def cmd_area(_args) -> None:
+    from repro.eval.areapower import estimate_srd_area, estimate_vlrd_area
+
+    srd, vlrd = estimate_srd_area(), estimate_vlrd_area()
+    rows = [[k, f"{v:.4f}"] for k, v in srd.buffers_mm2.items()]
+    rows += [
+        ["control/other", f"{srd.control_mm2:.4f}"],
+        ["TOTAL SRD", f"{srd.total_mm2:.4f}"],
+        ["TOTAL VLRD", f"{vlrd.total_mm2:.4f}"],
+        ["SRD/VLRD", f"{srd.total_mm2 / vlrd.total_mm2:.3f}"],
+        ["share of 16-core SoC", f"{srd.share_of_soc():.2%}"],
+    ]
+    print(format_table(["structure", "mm^2 @ 16nm"], rows,
+                       title="Section 4.5: area estimate"))
+
+
+def cmd_power(_args) -> None:
+    from repro.eval.areapower import paper_power_bounds
+
+    rows = [
+        [label, f"{est.dynamic_mw:.2f}", f"{est.leakage_mw:.2f}",
+         f"{est.total_mw:.2f}", f"{est.share_of_soc():.3%}"]
+        for label, est in paper_power_bounds().items()
+    ]
+    print(format_table(
+        ["setting", "dynamic mW", "leakage mW", "total mW", "SoC share"],
+        rows, title="Section 4.5: power bounds"))
+
+
+def cmd_inline(args) -> None:
+    res = inlining_experiment(scale=args.scale, seed=args.seed)
+    rows = [[k, format_speedup(v)] for k, v in res.items()]
+    print(format_table(["benchmark", "inlining speedup"], rows,
+                       title="Section 3.4: function inlining"))
+
+
+def cmd_motivation(_args) -> None:
+    from repro.swqueue import motivation_experiment
+
+    rows = [
+        [r.mechanism, f"{r.cycles_per_message:.1f}", r.coherence_packets]
+        for r in motivation_experiment(messages=400).values()
+    ]
+    print(format_table(["mechanism", "cycles/message", "packets"], rows,
+                       title="Figure 1: cross-core latency by mechanism"))
+
+
+def cmd_autotune(args) -> None:
+    from repro.eval.autotune import autotune
+
+    r = autotune(args.workload, scale=args.scale, seed=args.seed,
+                 max_evaluations=args.budget)
+    rows = [
+        ["best parameters", r.best_params.label()],
+        ["best score (delay + 0.05*energy)", f"{r.best_score:.3f}"],
+        ["paper parameters score", f"{r.paper_score:.3f}"],
+        ["improvement over paper set", format_speedup(r.improvement_over_paper)],
+        ["simulations used", r.evaluations],
+    ]
+    print(format_table(["result", "value"], rows,
+                       title=f"Parameter search: {args.workload}"))
+
+
+def cmd_replicate(args) -> None:
+    from repro.eval.replication import replicated_comparison
+
+    seeds = [args.seed + i for i in range(args.seeds)]
+    result = replicated_comparison(seeds=seeds, scale=args.scale)
+    rows = [[label, str(stat)] for label, stat in result.geomeans.items()]
+    print(format_table(["setting", "geomean speedup (95% CI)"], rows,
+                       title=f"Figure 8 geomeans over {args.seeds} seeds"))
+
+
+def cmd_batch(args) -> None:
+    from repro.eval.batch import run_batch_file, summarize_report
+
+    report = run_batch_file(args.spec, report_path=args.out)
+    print(format_table(["workload", "setting", "mean speedup"],
+                       summarize_report(report),
+                       title=f"Batch study: {report['name']}"))
+    if args.out:
+        print(f"full report written to {args.out}")
+
+
+def cmd_list(_args) -> None:
+    rows = [[n] for n in workload_names()]
+    print(format_table(["benchmark"], rows, title="Table 2 workloads"))
+    rows = [[s] for s in SETTING_NAMES]
+    print()
+    print(format_table(["setting"], rows, title="Available settings"))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPAMeR reproduction: regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, workload: bool = False, setting: bool = False):
+        p.add_argument("--scale", type=float, default=0.25,
+                       help="message-count scale factor (1.0 = paper scale)")
+        p.add_argument("--seed", type=lambda v: int(v, 0), default=0xC0FFEE)
+        if workload:
+            p.add_argument("workload", choices=workload_names())
+        if setting:
+            p.add_argument("--setting", choices=SETTING_NAMES, default="tuned")
+        return p
+
+    sub.add_parser("table1", help="Table 1").set_defaults(fn=cmd_table1)
+    sub.add_parser("table2", help="Table 2").set_defaults(fn=cmd_table2)
+    p = common(sub.add_parser("fig7", help="Figure 7 transaction trace"),
+               setting=True)
+    p.add_argument("--window", type=int, default=3000)
+    p.add_argument("--csv", metavar="FILE", default=None,
+                   help="export the full trace as CSV instead of printing")
+    p.set_defaults(fn=cmd_fig7, setting="vl")
+    common(sub.add_parser("fig8", help="Figure 8 speedups")).set_defaults(fn=cmd_fig8)
+    common(sub.add_parser("fig9", help="Figure 9 breakdown")).set_defaults(fn=cmd_fig9)
+    common(sub.add_parser("fig10a", help="Figure 10a failure rates")).set_defaults(
+        fn=cmd_fig10a)
+    common(sub.add_parser("fig10b", help="Figure 10b bus utilization")).set_defaults(
+        fn=cmd_fig10b)
+    common(sub.add_parser("fig11", help="Figure 11 sensitivity panel"),
+           workload=True).set_defaults(fn=cmd_fig11)
+    common(sub.add_parser("run", help="run one workload under one setting"),
+           workload=True, setting=True).set_defaults(fn=cmd_run)
+    sub.add_parser("area", help="Section 4.5 area").set_defaults(fn=cmd_area)
+    sub.add_parser("power", help="Section 4.5 power").set_defaults(fn=cmd_power)
+    common(sub.add_parser("inline", help="Section 3.4 inlining")).set_defaults(
+        fn=cmd_inline)
+    sub.add_parser("motivation", help="Figure 1 latency comparison").set_defaults(
+        fn=cmd_motivation)
+    p = common(sub.add_parser("replicate",
+                              help="Figure 8 geomeans across seeds"))
+    p.add_argument("--seeds", type=int, default=3,
+                   help="number of replication seeds")
+    p.set_defaults(fn=cmd_replicate)
+    p = sub.add_parser("batch", help="run a JSON experiment spec")
+    p.add_argument("spec", help="path to the spec file (see repro.eval.batch)")
+    p.add_argument("--out", default=None, help="write the JSON report here")
+    p.set_defaults(fn=cmd_batch)
+    p = common(sub.add_parser("autotune", help="per-benchmark parameter search"),
+               workload=True)
+    p.add_argument("--budget", type=int, default=25,
+                   help="maximum simulations to spend")
+    p.set_defaults(fn=cmd_autotune)
+    sub.add_parser("list", help="available workloads and settings").set_defaults(
+        fn=cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

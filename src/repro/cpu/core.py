@@ -1,0 +1,64 @@
+"""Core model: one pinned software thread per core (Section 4.1).
+
+The benchmarks pin each thread to a core "to reduce the migration overhead",
+so the core model is deliberately thin: a core runs exactly one thread
+program (a generator), tracks busy/idle accounting, and charges instruction
+issue costs.  Out-of-order micro-architecture is abstracted into the
+transaction-level costs of :class:`~repro.config.SystemConfig` (see
+DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, TYPE_CHECKING
+
+from repro.cpu.isa import Instruction, Opcode, issue_cost_table
+from repro.errors import WorkloadError
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config import SystemConfig
+    from repro.sim.kernel import Environment
+
+
+class Core:
+    """One CPU core with a single pinned thread."""
+
+    def __init__(self, env: "Environment", core_id: int, config: "SystemConfig") -> None:
+        self.env = env
+        self.core_id = core_id
+        self.config = config
+        self._costs = issue_cost_table(config)
+        self.thread: Optional[Process] = None
+        self.thread_name: Optional[str] = None
+        self.instructions_issued = 0
+
+    @property
+    def busy(self) -> bool:
+        return self.thread is not None and self.thread.is_alive
+
+    def pin(self, program: Generator, name: str) -> Process:
+        """Pin *program* to this core; at most one thread per core."""
+        if self.thread is not None:
+            raise WorkloadError(
+                f"core {self.core_id} already runs {self.thread_name!r}; the "
+                "benchmarks pin one thread per core (Section 4.1)"
+            )
+        self.thread = self.env.process(program, name=name)
+        self.thread_name = name
+        return self.thread
+
+    def issue(self, instruction: Instruction):
+        """Charge one instruction's issue cost; returns a timeout event."""
+        self.instructions_issued += 1
+        return self.env.timeout(self._costs[instruction.opcode])
+
+    def compute(self, cycles: int):
+        """Model *cycles* of pure computation between queue operations."""
+        if cycles < 0:
+            raise WorkloadError(f"negative compute time {cycles}")
+        self.instructions_issued += max(1, cycles)  # ~1 IPC abstraction
+        return self.env.timeout(cycles)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Core {self.core_id} thread={self.thread_name!r}>"

@@ -1,0 +1,67 @@
+"""The VL/SPAMeR ISA extension (Sections 3.1, 3.3).
+
+Four instructions extend AArch64:
+
+* ``vl_select``  — translate a cacheline's virtual address and latch the
+  physical address into a system register (not user-readable).
+* ``vl_push``    — copy the selected line to the routing device's device
+  memory; like a writeback but leaves the line's coherence state unchanged.
+* ``vl_fetch``   — store the latched physical address to a routing-device
+  window, registering a consumer request (consBuf window) …
+* ``spamer_register`` — … or, aliased to the specBuf window, registering a
+  speculative push target (new in SPAMeR).
+
+The core model charges each instruction a fixed issue cost; the packet the
+instruction emits then travels the coherence network independently (the
+instructions are posted, writeback-style — the core does not stall for the
+round trip).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict
+
+from repro.config import SystemConfig
+
+
+class Opcode(Enum):
+    """Instructions relevant to the queue fast path."""
+
+    VL_SELECT = "vl_select"
+    VL_PUSH = "vl_push"
+    VL_FETCH = "vl_fetch"
+    SPAMER_REGISTER = "spamer_register"
+    LOAD = "load"
+    STORE = "store"
+    COMPUTE = "compute"  # abstract ALU work between queue operations
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction with its operand address (when applicable)."""
+
+    opcode: Opcode
+    address: int = 0
+
+
+def issue_cost_table(config: SystemConfig) -> Dict[Opcode, int]:
+    """Per-opcode issue costs in cycles, derived from the system config.
+
+    ``vl_select`` + ``vl_push`` together cost ``push_instruction_cost`` and
+    ``vl_select`` + ``vl_fetch`` cost ``fetch_instruction_cost`` (the paper
+    always pairs them); the table splits the pair cost evenly so either
+    decomposition adds up.
+    """
+    half_push = config.push_instruction_cost // 2
+    half_fetch = config.fetch_instruction_cost // 2
+    return {
+        Opcode.VL_SELECT: min(half_push, half_fetch),
+        Opcode.VL_PUSH: config.push_instruction_cost - min(half_push, half_fetch),
+        Opcode.VL_FETCH: config.fetch_instruction_cost - min(half_push, half_fetch),
+        Opcode.SPAMER_REGISTER: config.fetch_instruction_cost,
+        Opcode.LOAD: config.l1d.hit_latency,
+        Opcode.STORE: config.l1d.hit_latency,
+        Opcode.COMPUTE: 1,
+    }

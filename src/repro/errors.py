@@ -1,0 +1,48 @@
+"""Exception hierarchy for the SPAMeR reproduction package.
+
+Every error raised by the package derives from :class:`ReproError` so that
+callers can catch package failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SimulationError(ReproError):
+    """Raised for invalid uses of the discrete-event simulation kernel."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when an event is scheduled into the past or double-triggered."""
+
+
+class ConfigError(ReproError):
+    """Raised for inconsistent or out-of-range system configuration values."""
+
+
+class DeviceError(ReproError):
+    """Raised by hardware device models (VLRD/SRD, caches, bus)."""
+
+
+class BufferFullError(DeviceError):
+    """Raised when a hardware buffer (prodBuf/consBuf/specBuf) overflows.
+
+    Device models normally apply backpressure instead of raising; this error
+    signals an internal invariant violation (an admission-control bug).
+    """
+
+
+class RegistrationError(DeviceError):
+    """Raised for invalid endpoint or specBuf registrations."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload is mis-specified (bad topology, thread count)."""
+
+
+class ProtocolError(ReproError):
+    """Raised when the MOESI coherence substrate detects an illegal transition."""

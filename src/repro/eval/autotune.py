@@ -1,0 +1,152 @@
+"""Per-benchmark tuned-parameter search (the paper's stated future work).
+
+Section 3.5: "As future work, we could search to find a more optimal set of
+parameters for each benchmark and reconfigure those parameters
+dynamically."  This module implements that search as a coordinate-descent
+hill climber over (ζ, τ, δ, α, β), scoring candidates by execution time
+with an energy tie-breaker (the Figure 11 objective: closest to the
+origin).
+
+The search is deliberately simulation-budget-aware: it memoizes evaluated
+points and stops after a configurable number of simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.eval.metrics import RunMetrics
+from repro.eval.runner import run_workload, standard_settings, tuned_setting
+from repro.spamer.delay import TunedParams
+
+#: Candidate values per coordinate, centred on the paper's choice.
+SEARCH_SPACE: Dict[str, Tuple[int, ...]] = {
+    "zeta": (64, 128, 256, 512),
+    "tau": (96, 144, 192, 288),
+    "delta": (16, 32, 64, 128),
+    "alpha": (1, 2),
+    "beta": (1, 2, 4),
+}
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of a per-benchmark parameter search."""
+
+    workload: str
+    best_params: TunedParams
+    best_score: float
+    baseline_cycles: int
+    best_metrics: RunMetrics
+    evaluations: int
+    #: Score of the paper's fixed parameter set, for comparison.
+    paper_score: float
+
+    @property
+    def improvement_over_paper(self) -> float:
+        """How much faster the searched set is than the paper's fixed set
+        (1.0 = no improvement)."""
+        return self.paper_score / self.best_score if self.best_score else 1.0
+
+
+def _score(metrics: RunMetrics, baseline: RunMetrics, energy_weight: float) -> float:
+    """Figure 11 objective: normalized delay plus a small energy term."""
+    return metrics.normalized_delay(baseline) + energy_weight * metrics.normalized_energy(
+        baseline
+    )
+
+
+def autotune(
+    workload_name: str,
+    scale: float = 0.25,
+    config: Optional[SystemConfig] = None,
+    seed: int = 0xC0FFEE,
+    start: Optional[TunedParams] = None,
+    energy_weight: float = 0.05,
+    max_evaluations: int = 40,
+    max_rounds: int = 3,
+) -> TuneResult:
+    """Coordinate-descent search for the best tuned parameters.
+
+    Starting from *start* (default: the paper's set), sweep one coordinate
+    at a time over :data:`SEARCH_SPACE`, keeping the best value before
+    moving to the next coordinate; repeat up to *max_rounds* passes or
+    until no coordinate improves, within *max_evaluations* simulations.
+    """
+    if max_evaluations < 1 or max_rounds < 1:
+        raise ConfigError("autotune needs positive budgets")
+    vl = standard_settings()[0]
+    baseline = run_workload(workload_name, vl, scale=scale, config=config, seed=seed)
+
+    cache: Dict[TunedParams, RunMetrics] = {}
+    evaluations = 0
+
+    def evaluate(params: TunedParams) -> Optional[RunMetrics]:
+        nonlocal evaluations
+        if params in cache:
+            return cache[params]
+        if evaluations >= max_evaluations:
+            return None
+        evaluations += 1
+        metrics = run_workload(
+            workload_name,
+            tuned_setting(params),
+            scale=scale,
+            config=config,
+            seed=seed,
+        )
+        cache[params] = metrics
+        return metrics
+
+    current = start or TunedParams()
+    current_metrics = evaluate(current)
+    assert current_metrics is not None
+    paper_metrics = evaluate(TunedParams())
+    assert paper_metrics is not None
+    best_score = _score(current_metrics, baseline, energy_weight)
+
+    for _round in range(max_rounds):
+        improved = False
+        for coord, values in SEARCH_SPACE.items():
+            for value in values:
+                if getattr(current, coord) == value:
+                    continue
+                candidate = replace(current, **{coord: value})
+                metrics = evaluate(candidate)
+                if metrics is None:
+                    break  # budget exhausted
+                score = _score(metrics, baseline, energy_weight)
+                if score < best_score - 1e-9:
+                    current, best_score, improved = candidate, score, True
+        if not improved:
+            break
+
+    return TuneResult(
+        workload=workload_name,
+        best_params=current,
+        best_score=best_score,
+        baseline_cycles=baseline.exec_cycles,
+        best_metrics=cache[current],
+        evaluations=evaluations,
+        paper_score=_score(paper_metrics, baseline, energy_weight),
+    )
+
+
+def autotune_all(
+    workloads: Optional[List[str]] = None,
+    scale: float = 0.15,
+    max_evaluations: int = 25,
+    seed: int = 0xC0FFEE,
+) -> Dict[str, TuneResult]:
+    """Search every benchmark; returns per-benchmark results."""
+    from repro.workloads.registry import workload_names
+
+    out = {}
+    for name in workloads or workload_names():
+        out[name] = autotune(
+            name, scale=scale, max_evaluations=max_evaluations, seed=seed
+        )
+    return out

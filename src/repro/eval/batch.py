@@ -1,0 +1,143 @@
+"""Batch experiment runner: JSON spec in, JSON report out.
+
+For artifact-evaluation style studies: describe a grid of (workloads ×
+settings × seeds × config overrides) in a JSON document, run it, and get a
+machine-readable report with every metric plus derived speedups.  Specs and
+reports are plain JSON so they diff, archive and plot outside Python.
+
+Spec format::
+
+    {
+      "name": "my-study",
+      "workloads": ["incast", "FIR"],          // default: all 8
+      "settings": ["vl", "0delay", "tuned"],   // default: the 4 evaluated
+      "seeds": [12648430, 1],                  // default: [0xC0FFEE]
+      "scale": 0.25,                           // default 1.0
+      "config": {"bus_latency": 72}            // SystemConfig overrides
+    }
+
+The report nests ``results[workload][setting][seed] -> metrics dict`` and
+adds per-seed speedups over the first listed setting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.eval.runner import Setting, run_workload, standard_settings
+from repro.spamer.delay import algorithm_by_name
+from repro.workloads.registry import workload_names
+
+#: Setting short-names accepted in specs.
+SETTING_FACTORIES = {
+    "vl": lambda: standard_settings()[0],
+    "0delay": lambda: standard_settings()[1],
+    "adapt": lambda: standard_settings()[2],
+    "tuned": lambda: standard_settings()[3],
+    "history": lambda: Setting(
+        "SPAMeR(history)", "spamer", lambda: algorithm_by_name("history")
+    ),
+    "perceptron": lambda: Setting(
+        "SPAMeR(perceptron)", "spamer", lambda: algorithm_by_name("perceptron")
+    ),
+}
+
+
+def _metrics_to_dict(metrics) -> Dict:
+    data = dataclasses.asdict(metrics)
+    data["failure_rate"] = metrics.failure_rate
+    data["bus_utilization"] = metrics.bus_utilization
+    data["push_energy"] = metrics.push_energy
+    return data
+
+
+def parse_spec(spec: Dict) -> Dict:
+    """Validate and normalize a batch spec (filling defaults)."""
+    if not isinstance(spec, dict):
+        raise ConfigError("batch spec must be a JSON object")
+    out = {
+        "name": spec.get("name", "unnamed-study"),
+        "workloads": spec.get("workloads", workload_names()),
+        "settings": spec.get("settings", ["vl", "0delay", "adapt", "tuned"]),
+        "seeds": spec.get("seeds", [0xC0FFEE]),
+        "scale": float(spec.get("scale", 1.0)),
+        "config": spec.get("config", {}),
+    }
+    unknown_workloads = set(out["workloads"]) - set(workload_names())
+    if unknown_workloads:
+        raise ConfigError(f"unknown workloads in spec: {sorted(unknown_workloads)}")
+    unknown_settings = set(out["settings"]) - set(SETTING_FACTORIES)
+    if unknown_settings:
+        raise ConfigError(f"unknown settings in spec: {sorted(unknown_settings)}")
+    if not out["seeds"]:
+        raise ConfigError("spec needs at least one seed")
+    if out["scale"] <= 0:
+        raise ConfigError(f"invalid scale {out['scale']}")
+    # Validate overrides eagerly (raises ConfigError on bad fields/values).
+    SystemConfig().with_overrides(**out["config"])
+    return out
+
+
+def run_batch(spec: Dict) -> Dict:
+    """Run the grid a spec describes; returns the JSON-serializable report."""
+    norm = parse_spec(spec)
+    config = SystemConfig().with_overrides(**norm["config"])
+    settings = {name: SETTING_FACTORIES[name]() for name in norm["settings"]}
+    baseline_name = norm["settings"][0]
+
+    results: Dict[str, Dict[str, Dict[str, Dict]]] = {}
+    for workload in norm["workloads"]:
+        results[workload] = {}
+        for setting_name, setting in settings.items():
+            results[workload][setting_name] = {}
+            for seed in norm["seeds"]:
+                metrics = run_workload(
+                    workload, setting, scale=norm["scale"],
+                    config=config, seed=seed,
+                )
+                results[workload][setting_name][str(seed)] = _metrics_to_dict(metrics)
+
+    # Derived: per-seed speedups over the first listed setting.
+    speedups: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for workload, per_setting in results.items():
+        speedups[workload] = {}
+        for setting_name, per_seed in per_setting.items():
+            speedups[workload][setting_name] = {
+                seed: per_setting[baseline_name][seed]["exec_cycles"]
+                / data["exec_cycles"]
+                for seed, data in per_seed.items()
+            }
+
+    return {
+        "name": norm["name"],
+        "spec": norm,
+        "baseline": baseline_name,
+        "results": results,
+        "speedups": speedups,
+    }
+
+
+def run_batch_file(spec_path: str, report_path: Optional[str] = None) -> Dict:
+    """Load a spec file, run it, and optionally write the report."""
+    with open(spec_path) as fh:
+        spec = json.load(fh)
+    report = run_batch(spec)
+    if report_path:
+        with open(report_path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+    return report
+
+
+def summarize_report(report: Dict) -> List[List[str]]:
+    """Rows of (workload, setting, mean speedup) for quick console output."""
+    rows = []
+    for workload, per_setting in report["speedups"].items():
+        for setting_name, per_seed in per_setting.items():
+            values = list(per_seed.values())
+            mean = sum(values) / len(values)
+            rows.append([workload, setting_name, f"{mean:.2f}x"])
+    return rows

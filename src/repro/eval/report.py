@@ -1,0 +1,72 @@
+"""Plain-text rendering of tables and figure data.
+
+The benches print the same rows/series the paper reports; these helpers
+format aligned text tables so `pytest benchmarks/ --benchmark-only -s`
+output reads like the paper's tables and figure captions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_pct(x: float) -> str:
+    return f"{100.0 * x:.1f}%"
+
+
+def format_speedup(x: float) -> str:
+    return f"{x:.2f}x"
+
+
+def ascii_bar(value: float, scale: float = 20.0, maximum: float = 3.0) -> str:
+    """A tiny horizontal bar for figure-like console output."""
+    clamped = max(0.0, min(value, maximum))
+    return "#" * int(round(clamped * scale / maximum))
+
+
+def format_trace_rows(transactions, start: int, end: int) -> str:
+    """Render a Figure 7 style listing of transactions in a time window."""
+    lines = [
+        f"{'txn':>5s} {'kind':>11s} {'data_arr':>9s} {'req_arr':>9s} "
+        f"{'vacate':>9s} {'fill':>9s} {'1st_use':>9s} {'saving':>7s}"
+    ]
+    for t in transactions:
+        if t.line_fill is None or not (start <= t.line_fill < end):
+            continue
+        kind = "speculative" if t.speculative else (
+            "req-bound" if t.request_bound else "on-demand"
+        )
+        fmt = lambda v: f"{v:9d}" if v is not None else "        -"  # noqa: E731
+        lines.append(
+            f"{t.transaction_id:5d} {kind:>11s} {fmt(t.data_arrive)} "
+            f"{fmt(t.request_arrive)} {fmt(t.line_vacate)} {fmt(t.line_fill)} "
+            f"{fmt(t.first_use)} {t.potential_saving:7d}"
+        )
+    return "\n".join(lines)
+
+
+def dict_table(title: str, data: Dict[str, object]) -> str:
+    """Two-column key/value table (Table 1 style)."""
+    return format_table(["field", "value"], list(data.items()), title=title)

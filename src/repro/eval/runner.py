@@ -1,0 +1,142 @@
+"""Experiment runner: build a system, run a workload, collect metrics.
+
+A :class:`Setting` names one of the evaluated configurations —
+``VL(baseline)``, ``SPAMeR(0delay)``, ``SPAMeR(adapt)``, ``SPAMeR(tuned)``
+(Figures 8–10) — or any custom device/algorithm combination (the Figure 11
+parameter sweep builds tuned settings on the fly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.config import SystemConfig
+from repro.eval.metrics import RunMetrics
+from repro.errors import SimulationError
+from repro.spamer.delay import (
+    AdaptiveDelay,
+    DelayAlgorithm,
+    TunedDelay,
+    TunedParams,
+    ZeroDelay,
+)
+from repro.system import System
+from repro.workloads.base import Workload
+from repro.workloads.registry import make_workload
+
+#: Guardrail: a benchmark run that exceeds this many cycles has deadlocked
+#: or been mis-scaled (the paper's longest runs are a few ms = a few Mcycles).
+DEFAULT_CYCLE_LIMIT = 2_000_000_000
+
+
+@dataclass(frozen=True)
+class Setting:
+    """One evaluated device/algorithm configuration."""
+
+    label: str
+    device: str                                   # 'vl' | 'spamer'
+    algorithm: Optional[Callable[[], DelayAlgorithm]] = None
+
+    def build_system(
+        self,
+        config: Optional[SystemConfig] = None,
+        seed: int = 0xC0FFEE,
+        trace: bool = False,
+    ) -> System:
+        algo = self.algorithm() if self.algorithm is not None else None
+        return System(
+            config=config, device=self.device, algorithm=algo, seed=seed, trace=trace
+        )
+
+
+def standard_settings() -> List[Setting]:
+    """The four configurations of Figures 8–10, in plot order."""
+    return [
+        Setting("VL(baseline)", "vl"),
+        Setting("SPAMeR(0delay)", "spamer", ZeroDelay),
+        Setting("SPAMeR(adapt)", "spamer", AdaptiveDelay),
+        Setting("SPAMeR(tuned)", "spamer", TunedDelay),
+    ]
+
+
+def tuned_setting(params: TunedParams) -> Setting:
+    """A SPAMeR(tuned) setting with explicit parameters (Figure 11 sweep)."""
+    return Setting(
+        f"SPAMeR(tuned:{params.label()})", "spamer", lambda: TunedDelay(params)
+    )
+
+
+def collect_metrics(system: System, workload: Workload, setting: Setting) -> RunMetrics:
+    """Assemble :class:`RunMetrics` from a finished run."""
+    stats = system.aggregate_device_stats()
+    empty, valid = system.consumer_line_cycles()
+    lat = system.latency_stats
+    return RunMetrics(
+        workload=workload.name,
+        setting=setting.label,
+        exec_cycles=system.env.now,
+        messages_delivered=system.messages_delivered(),
+        messages_produced=system.messages_produced(),
+        push_attempts=stats.get("push_attempts"),
+        push_failures=stats.get("push_failures"),
+        ondemand_pushes=stats.get("ondemand_pushes"),
+        ondemand_failures=stats.get("ondemand_failures"),
+        spec_pushes=stats.get("spec_pushes"),
+        spec_failures=stats.get("spec_failures"),
+        bus_busy_cycles=system.network.busy_cycles,
+        bus_packets=system.network.total_packets,
+        request_packets=stats.get("request_arrivals"),
+        avg_line_empty=empty,
+        avg_line_valid=valid,
+        latency_mean=lat.mean,
+        latency_p50=lat.percentile(50) if lat.n else 0.0,
+        latency_p99=lat.percentile(99) if lat.n else 0.0,
+        extra={
+            "requests_dropped": stats.get("requests_dropped"),
+            "buffered": stats.get("buffered"),
+            "spec_selected": stats.get("spec_selected"),
+        },
+    )
+
+
+def run_workload(
+    workload_name: str,
+    setting: Setting,
+    scale: float = 1.0,
+    config: Optional[SystemConfig] = None,
+    seed: int = 0xC0FFEE,
+    trace: bool = False,
+    limit: int = DEFAULT_CYCLE_LIMIT,
+    validate: bool = True,
+) -> RunMetrics:
+    """Run one (workload, setting) pair end to end and return its metrics."""
+    workload = make_workload(workload_name, scale=scale)
+    system = setting.build_system(config=config, seed=seed, trace=trace)
+    workload.build(system)
+    try:
+        system.run_to_completion(limit=limit)
+    except SimulationError as exc:
+        raise SimulationError(
+            f"{workload_name} under {setting.label} did not complete: {exc}"
+        ) from exc
+    if validate:
+        workload.validate()
+    return collect_metrics(system, workload, setting)
+
+
+def run_workload_traced(
+    workload_name: str,
+    setting: Setting,
+    scale: float = 1.0,
+    config: Optional[SystemConfig] = None,
+    seed: int = 0xC0FFEE,
+):
+    """Like :func:`run_workload` but returns (metrics, system) with tracing
+    enabled — used by the Figure 7 transaction-trace experiment."""
+    workload = make_workload(workload_name, scale=scale)
+    system = setting.build_system(config=config, seed=seed, trace=True)
+    workload.build(system)
+    system.run_to_completion(limit=DEFAULT_CYCLE_LIMIT)
+    workload.validate()
+    return collect_metrics(system, workload, setting), system

@@ -1,0 +1,112 @@
+"""Consumer-endpoint cacheline model.
+
+Queue data is delivered by *stashing* into consumer cachelines.  What the
+routing device observes is only the target cache controller's hit/miss
+response (Section 3.1): a push to a line that is ready succeeds; a push to a
+line still holding unconsumed data fails and re-enters the mapping pipeline.
+
+:class:`ConsumerLine` is that state machine plus the bookkeeping every
+figure needs: per-line EMPTY/VALID residency (Figure 9) and fill/vacate
+trace events (Figure 7).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.errors import DeviceError
+from repro.sim.stats import StateTimer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Environment
+
+
+class LineState(Enum):
+    """Consumer cacheline occupancy as seen by the routing device."""
+
+    EMPTY = "empty"  # ready to accept a push (vacated or never filled)
+    VALID = "valid"  # holds a delivered, not-yet-consumed message
+
+
+class ConsumerLine:
+    """One cacheline of a consumer endpoint's receive buffer."""
+
+    __slots__ = ("env", "addr", "endpoint_id", "index", "_state", "timer",
+                 "data", "fills", "vacates", "failed_fills", "fill_txn",
+                 "last_vacate_time")
+
+    def __init__(
+        self,
+        env: "Environment",
+        addr: int,
+        endpoint_id: int,
+        index: int,
+    ) -> None:
+        self.env = env
+        self.addr = addr
+        self.endpoint_id = endpoint_id
+        self.index = index
+        self._state = LineState.EMPTY
+        self.timer = StateTimer(env, LineState.EMPTY)
+        self.data: Any = None
+        #: Transaction id of the message currently (or last) filled here.
+        self.fill_txn: Optional[int] = None
+        self.fills = 0
+        self.vacates = 0
+        self.failed_fills = 0
+        #: When the line last became ready to receive (registration counts).
+        self.last_vacate_time: int = env.now
+
+    @property
+    def state(self) -> LineState:
+        return self._state
+
+    @property
+    def is_empty(self) -> bool:
+        return self._state is LineState.EMPTY
+
+    def try_fill(self, data: Any, transaction_id: Optional[int] = None) -> bool:
+        """Attempt a stash; returns the hit/miss response signal.
+
+        A miss (line still VALID) leaves the line untouched — the routing
+        device will retry the push through the address-mapping pipeline.
+        """
+        if self._state is LineState.VALID:
+            self.failed_fills += 1
+            return False
+        self._state = LineState.VALID
+        self.timer.transition(LineState.VALID)
+        self.data = data
+        self.fill_txn = transaction_id
+        self.fills += 1
+        return True
+
+    def consume(self) -> Any:
+        """Read the message and vacate the line (consumer-side pop)."""
+        if self._state is not LineState.VALID:
+            raise DeviceError(
+                f"consume() on {self!r} while {self._state.value}; the library "
+                "must check line state before consuming"
+            )
+        data, self.data = self.data, None
+        self._state = LineState.EMPTY
+        self.timer.transition(LineState.EMPTY)
+        self.vacates += 1
+        self.last_vacate_time = self.env.now
+        return data
+
+    # -- metrics ---------------------------------------------------------------
+    def empty_cycles(self) -> int:
+        """Cycles spent EMPTY so far (open interval included)."""
+        return self.timer.time_in(LineState.EMPTY)
+
+    def valid_cycles(self) -> int:
+        """Cycles spent VALID so far (open interval included)."""
+        return self.timer.time_in(LineState.VALID)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ConsumerLine ep={self.endpoint_id}[{self.index}] "
+            f"addr={self.addr:#x} {self._state.value}>"
+        )

@@ -1,0 +1,43 @@
+"""DRAM model: fixed loaded-latency main memory behind the L2.
+
+The evaluation's queue traffic never reaches DRAM on the fast path (that is
+the whole point of keeping data "on the fast path, within the on-chip
+interconnect" — Section 2), but the MOESI software-queue baseline and cold
+misses do, so the substrate includes a simple fixed-latency DDR4 model with
+access accounting.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config import SystemConfig
+    from repro.sim.kernel import Environment
+
+
+class Dram:
+    """Fixed-latency main memory."""
+
+    def __init__(self, env: "Environment", config: "SystemConfig") -> None:
+        self.env = env
+        self.latency = config.dram_latency
+        self.size_bytes = config.dram_bytes
+        self.reads = 0
+        self.writes = 0
+
+    def read(self) -> Event:
+        """One line fill from DRAM; fires after the loaded latency."""
+        self.reads += 1
+        return self.env.timeout(self.latency)
+
+    def write(self) -> Event:
+        """One line writeback; fires after the loaded latency."""
+        self.writes += 1
+        return self.env.timeout(self.latency)
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes

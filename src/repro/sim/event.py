@@ -1,0 +1,200 @@
+"""Core event primitives of the discrete-event simulation kernel.
+
+The kernel follows the classic *event/process* design (as popularised by
+SimPy, which is not available offline here): an :class:`Event` is a one-shot
+future that callbacks subscribe to; processes are generators that yield
+events and are resumed by the kernel when those events fire.
+
+Events move through three states::
+
+    PENDING  --succeed()/fail()-->  TRIGGERED  --kernel step-->  PROCESSED
+
+``TRIGGERED`` means the event sits in the kernel's queue with a value or an
+exception attached; ``PROCESSED`` means its callbacks have run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+from repro.errors import SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Environment
+
+#: Sentinel distinguishing "no value yet" from a legitimate ``None`` payload.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence at a simulated time instant.
+
+    Parameters
+    ----------
+    env:
+        The environment the event belongs to.
+    name:
+        Optional label used in ``repr`` and trace output.
+    """
+
+    __slots__ = ("env", "name", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment", name: Optional[str] = None) -> None:
+        self.env = env
+        self.name = name
+        #: Callbacks run (in subscription order) when the event is processed.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (or exception when it failed)."""
+        if self._value is _PENDING:
+            raise SchedulingError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional payload."""
+        if self.triggered:
+            raise SchedulingError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every process waiting on the event.
+        If nothing waits on a failed event the kernel re-raises it at the top
+        level (unless :meth:`defused` was called), so failures cannot pass
+        silently.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise SchedulingError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel will not re-raise."""
+        self._defused = True
+
+    @property
+    def defused(self) -> bool:
+        return self._defused
+
+    def subscribe(self, callback: Callable[["Event"], None]) -> None:
+        """Add *callback*; runs immediately via the queue if already processed."""
+        if self.callbacks is None:
+            # Already processed: schedule an immediate delivery so that the
+            # callback still runs from the kernel loop, preserving ordering.
+            self.env.schedule_callback(callback, self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or self.__class__.__name__
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{label} {state} at t={self.env.now}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` cycles after its creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(
+        self,
+        env: "Environment",
+        delay: int,
+        value: Any = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if delay < 0:
+            raise SchedulingError(f"negative timeout delay: {delay}")
+        super().__init__(env, name=name or f"Timeout({delay})")
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class AnyOf(Event):
+    """Composite event that fires when the *first* of its children fires.
+
+    The value is a dict mapping the already-fired child events to their
+    values (there may be more than one if several children fire in the same
+    kernel step).
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, env: "Environment", events: List[Event]) -> None:
+        super().__init__(env, name="AnyOf")
+        self.events = list(events)
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.subscribe(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self.succeed({ev: ev.value for ev in self.events if ev.processed and ev.ok})
+
+
+class AllOf(Event):
+    """Composite event that fires once *all* of its children have fired."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, env: "Environment", events: List[Event]) -> None:
+        super().__init__(env, name="AllOf")
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if self._remaining == 0:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.subscribe(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({ev: ev.value for ev in self.events})

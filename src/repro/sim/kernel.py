@@ -1,0 +1,147 @@
+"""The discrete-event simulation kernel (:class:`Environment`).
+
+A classic calendar-queue kernel: events are stored in a binary heap keyed by
+``(time, priority, sequence)``; :meth:`Environment.step` pops the earliest
+event, advances the clock, and runs its callbacks.  The ``sequence`` tiebreak
+makes runs fully deterministic: two events scheduled for the same cycle fire
+in scheduling order.
+
+Time is an integer cycle count.  All device latencies in this package are
+integral, which keeps the heap exact (no float comparisons) and runs
+reproducible bit-for-bit across platforms.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.event import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+#: Priority levels: URGENT callbacks run before NORMAL ones in the same cycle.
+URGENT = 0
+NORMAL = 1
+
+
+class Environment:
+    """Holds the simulation clock and the pending-event queue.
+
+    Typical use::
+
+        env = Environment()
+        env.process(my_generator(env))
+        env.run(until=1_000_000)
+    """
+
+    def __init__(self, initial_time: int = 0) -> None:
+        self._now: int = int(initial_time)
+        self._queue: List[Tuple[int, int, int, Event]] = []
+        self._seq: int = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time in cycles."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None outside process code)."""
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+    def event(self, name: Optional[str] = None) -> Event:
+        """Create an untriggered :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event firing *delay* cycles from now."""
+        return Timeout(self, int(delay), value=value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Wrap *generator* as a :class:`Process` and start it now."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when the first child fires."""
+        return AnyOf(self, list(events))
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when every child has fired."""
+        return AllOf(self, list(events))
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, event: Event, delay: int = 0, priority: int = NORMAL) -> None:
+        """Enqueue a triggered *event* for processing ``delay`` cycles ahead."""
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + int(delay), priority, self._seq, event))
+        self._seq += 1
+
+    def schedule_callback(self, callback: Callable[[Event], None], event: Event) -> None:
+        """Run *callback(event)* for an already-processed event via the queue."""
+        shim = Event(self, name="callback-shim")
+        shim.callbacks.append(lambda _ev: callback(event))
+        shim._ok = True
+        shim._value = None
+        self.schedule(shim, delay=0, priority=URGENT)
+
+    # -- execution -----------------------------------------------------------
+    def peek(self) -> Optional[int]:
+        """Time of the next event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> None:
+        """Process the single earliest event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - heap invariant guard
+            raise SchedulingError("event queue corrupted: time went backwards")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks or ():
+            callback(event)
+        if not event.ok and not event.defused:
+            # A failed event nobody handled: surface the error loudly.
+            raise event.value
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the queue drains or the clock passes *until*.
+
+        Returns the final simulated time.  When *until* is given the clock is
+        advanced to exactly *until* even if the last event fired earlier,
+        mirroring a wall-clock measurement window.
+        """
+        if until is not None and until < self._now:
+            raise SchedulingError(f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, int(until))
+        return self._now
+
+    def run_until_complete(self, process: Process, limit: Optional[int] = None) -> Any:
+        """Run until *process* terminates; returns its value.
+
+        Raises :class:`SimulationError` if the queue drains (deadlock) or the
+        optional *limit* is reached before the process completes.
+        """
+        while not process.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    f"deadlock: event queue drained before {process!r} finished"
+                )
+            if limit is not None and self._queue[0][0] > limit:
+                raise SimulationError(
+                    f"simulation limit {limit} reached before {process!r} finished"
+                )
+            self.step()
+        if not process.ok:
+            raise process.value
+        return process.value

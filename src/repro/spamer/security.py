@@ -1,0 +1,81 @@
+"""Security controls for speculative pushes (Section 3.6).
+
+The paper argues SPAMeR resists prefetch-style side channels because
+(1) delay latches are isolated per endpoint, (2) the ``bithash`` obfuscation
+adds randomness, and (3) targets must be explicitly white-listed via
+``spamer_register``.  It further notes speculation can be disabled
+*per endpoint* or *per SQI* for confidentiality-sensitive threads, and that
+registration is resource-limited like memory (ulimit / MPAM-style caps).
+
+:class:`SecurityPolicy` implements those controls; the SRD consults it on
+every registration and every speculation decision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, TYPE_CHECKING
+
+from repro.errors import RegistrationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.vlink.endpoint import ConsumerEndpoint
+
+
+class SecurityPolicy:
+    """White-listing, kill switches and registration quotas for speculation."""
+
+    def __init__(self, max_entries_per_core: Optional[int] = None) -> None:
+        if max_entries_per_core is not None and max_entries_per_core < 0:
+            raise RegistrationError("max_entries_per_core must be >= 0")
+        #: ulimit-style cap on specBuf entries a single core may register.
+        self.max_entries_per_core = max_entries_per_core
+        self._disabled_sqis: Set[int] = set()
+        self._disabled_endpoints: Set[int] = set()
+        self._registered_per_core: Dict[int, int] = {}
+
+    # -- kill switches -------------------------------------------------------
+    def disable_sqi(self, sqi: int) -> None:
+        """Turn speculation off for a whole queue (per-SQI opt-out)."""
+        self._disabled_sqis.add(sqi)
+
+    def enable_sqi(self, sqi: int) -> None:
+        self._disabled_sqis.discard(sqi)
+
+    def disable_endpoint(self, endpoint_id: int) -> None:
+        """Turn speculation off for one endpoint (per-endpoint opt-out)."""
+        self._disabled_endpoints.add(endpoint_id)
+
+    def enable_endpoint(self, endpoint_id: int) -> None:
+        self._disabled_endpoints.discard(endpoint_id)
+
+    # -- queries ---------------------------------------------------------------
+    def speculation_allowed(self, endpoint: "ConsumerEndpoint") -> bool:
+        """May the SRD speculatively push into *endpoint* right now?"""
+        return (
+            endpoint.sqi not in self._disabled_sqis
+            and endpoint.endpoint_id not in self._disabled_endpoints
+        )
+
+    def check_registration(self, endpoint: "ConsumerEndpoint") -> None:
+        """Admit or reject a ``spamer_register`` (quota enforcement).
+
+        Raises :class:`RegistrationError` when the core exceeded its quota —
+        the DoS mitigation of Section 3.6.
+        """
+        if endpoint.sqi in self._disabled_sqis:
+            raise RegistrationError(
+                f"speculation disabled for SQI {endpoint.sqi}; registration refused"
+            )
+        if self.max_entries_per_core is not None:
+            used = self._registered_per_core.get(endpoint.core_id, 0)
+            if used >= self.max_entries_per_core:
+                raise RegistrationError(
+                    f"core {endpoint.core_id} exceeded its specBuf quota "
+                    f"({self.max_entries_per_core} entries)"
+                )
+        self._registered_per_core[endpoint.core_id] = (
+            self._registered_per_core.get(endpoint.core_id, 0) + 1
+        )
+
+    def registered_by(self, core_id: int) -> int:
+        return self._registered_per_core.get(core_id, 0)

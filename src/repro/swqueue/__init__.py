@@ -1,0 +1,17 @@
+"""Software message-queue baseline over the MOESI substrate (Figure 1a)."""
+
+from repro.swqueue.coherent import (
+    LatencyResult,
+    motivation_experiment,
+    run_hardware_pingpong,
+    run_software_pingpong,
+)
+from repro.swqueue.msqueue import SoftwareQueue
+
+__all__ = [
+    "LatencyResult",
+    "SoftwareQueue",
+    "motivation_experiment",
+    "run_hardware_pingpong",
+    "run_software_pingpong",
+]

@@ -1,0 +1,189 @@
+"""The top-level System facade: wire a full machine together.
+
+A :class:`System` bundles the simulation environment, the coherence
+network, the cores, the routing device (baseline VLRD or SPAMeR SRD) and
+the queue library, and provides thread spawning and run control.  This is
+the main entry point of the public API::
+
+    from repro import System
+
+    sys_ = System(device="spamer", algorithm="tuned")
+    q = sys_.library.create_queue()
+    prod = sys_.library.open_producer(q, core_id=0)
+    cons = sys_.library.open_consumer(q, core_id=1)
+
+    def producer(ctx):
+        for i in range(100):
+            yield from ctx.push(prod, i)
+            yield from ctx.compute(200)
+
+    def consumer(ctx):
+        for _ in range(100):
+            msg = yield from ctx.pop(cons)
+            yield from ctx.compute(150)
+
+    sys_.spawn(0, producer, "producer")
+    sys_.spawn(1, consumer, "consumer")
+    sys_.run_to_completion()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Union
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.cpu.core import Core
+from repro.cpu.thread import ThreadContext
+from repro.errors import ConfigError
+from repro.mem.address import AddressSpace
+from repro.mem.bus import CoherenceNetwork
+from repro.sim.kernel import Environment
+from repro.sim.process import Process
+from repro.sim.rng import RngPool
+from repro.sim.trace import TraceRecorder
+from repro.spamer.delay import DelayAlgorithm, algorithm_by_name
+from repro.spamer.security import SecurityPolicy
+from repro.spamer.srd import SpamerRoutingDevice
+from repro.vlink.library import QueueLibrary
+from repro.vlink.vlrd import VirtualLinkRoutingDevice
+
+
+class System:
+    """A simulated multi-core machine with a hardware message queue."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        device: str = "vl",
+        algorithm: Union[str, DelayAlgorithm, None] = None,
+        trace: bool = False,
+        seed: int = 0xC0FFEE,
+        security: Optional[SecurityPolicy] = None,
+    ) -> None:
+        self.config = config or DEFAULT_CONFIG
+        self.env = Environment()
+        self.rng = RngPool(seed)
+        self.trace = TraceRecorder(self.env, enabled=trace)
+        self.network = CoherenceNetwork(self.env, self.config)
+        self.addr_space = AddressSpace(self.config.dram_bytes)
+
+        if device == "spamer":
+            if algorithm is None:
+                algorithm = "tuned"
+            if isinstance(algorithm, str):
+                algorithm = algorithm_by_name(algorithm)
+            self.devices: List[VirtualLinkRoutingDevice] = [
+                SpamerRoutingDevice(
+                    self.env,
+                    self.config,
+                    self.network,
+                    algorithm,
+                    trace=self.trace,
+                    security=security,
+                )
+                for _ in range(self.config.num_routers)
+            ]
+        elif device == "vl":
+            if algorithm is not None:
+                raise ConfigError("a delay algorithm only applies to device='spamer'")
+            self.devices = [
+                VirtualLinkRoutingDevice(
+                    self.env, self.config, self.network, trace=self.trace
+                )
+                for _ in range(self.config.num_routers)
+            ]
+        else:
+            raise ConfigError(f"unknown device {device!r}; pick 'vl' or 'spamer'")
+
+        self.device_name = device
+        self.cores: List[Core] = [
+            Core(self.env, i, self.config) for i in range(self.config.num_cores)
+        ]
+        self.library = QueueLibrary(self)
+        self._threads: List[Process] = []
+        #: End-to-end message latency (push call -> consumer's pop return),
+        #: one sample per delivered message.
+        from repro.sim.stats import RunningStats
+
+        self.latency_stats = RunningStats(keep_samples=True)
+
+    # ------------------------------------------------------------------ wiring
+    @property
+    def device(self) -> VirtualLinkRoutingDevice:
+        """The first routing device (the only one on default configs)."""
+        return self.devices[0]
+
+    def device_for(self, sqi: int) -> VirtualLinkRoutingDevice:
+        """The routing device owning *sqi* (SQIs shard across routers)."""
+        return self.devices[sqi % len(self.devices)]
+
+    @property
+    def supports_speculation(self) -> bool:
+        return isinstance(self.device, SpamerRoutingDevice)
+
+    @property
+    def spec_default(self) -> bool:
+        """New consumer endpoints default to speculative on SPAMeR builds."""
+        return self.supports_speculation
+
+    def spawn(
+        self,
+        core_id: int,
+        program: Callable[[ThreadContext], object],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Pin a thread program to a core and start it."""
+        core = self.cores[core_id]
+        label = name or f"{program.__name__}@core{core_id}"
+        ctx = ThreadContext(self, core, label)
+        process = core.pin(program(ctx), label)
+        self._threads.append(process)
+        return process
+
+    @property
+    def threads(self) -> List[Process]:
+        return list(self._threads)
+
+    # ------------------------------------------------------------------ running
+    def run_to_completion(self, limit: Optional[int] = None) -> int:
+        """Run until every spawned thread finishes; returns the end time.
+
+        Raises :class:`~repro.errors.SimulationError` on deadlock or when
+        *limit* cycles pass first.
+        """
+        join = self.env.all_of(self._threads)
+        self.env.run_until_complete(join, limit=limit)
+        return self.env.now
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run the raw event loop (mainly for tests and examples)."""
+        return self.env.run(until=until)
+
+    # ------------------------------------------------------------------ metrics
+    def aggregate_device_stats(self):
+        """Sum the stat counters of every routing device (multi-router)."""
+        from repro.sim.stats import Counter
+
+        if len(self.devices) == 1:
+            return self.devices[0].stats
+        total = Counter()
+        for device in self.devices:
+            for key, value in device.stats.as_dict().items():
+                total.add(key, value)
+        return total
+
+    def consumer_line_cycles(self) -> tuple:
+        """(average empty cycles, average valid cycles) across all consumer
+        cachelines — the Figure 9 breakdown."""
+        lines = [line for ep in self.library.consumers for line in ep.lines]
+        if not lines:
+            return 0.0, 0.0
+        empty = sum(line.empty_cycles() for line in lines) / len(lines)
+        valid = sum(line.valid_cycles() for line in lines) / len(lines)
+        return empty, valid
+
+    def messages_delivered(self) -> int:
+        return sum(ep.pops for ep in self.library.consumers)
+
+    def messages_produced(self) -> int:
+        return sum(ep.pushes for ep in self.library.producers)

@@ -1,0 +1,50 @@
+"""Unit helpers: cycles, seconds, bytes.
+
+The simulator counts time in integer *CPU cycles*.  The paper's system runs
+at 2 GHz (Table 1), so 1 ns equals 2 cycles.  These helpers keep unit
+conversions explicit at call sites and make the evaluation code read like the
+paper ("execution time in milliseconds", "8 GiB DRAM").
+"""
+
+from __future__ import annotations
+
+#: Cycles per second for the default 2 GHz clock (Table 1).
+DEFAULT_CLOCK_HZ = 2_000_000_000
+
+#: Bytes per cache line on the modelled AArch64 system.
+CACHELINE_BYTES = 64
+
+
+def KiB(n: float) -> int:
+    """Return *n* kibibytes in bytes."""
+    return int(n * 1024)
+
+
+def MiB(n: float) -> int:
+    """Return *n* mebibytes in bytes."""
+    return int(n * 1024 * 1024)
+
+
+def GiB(n: float) -> int:
+    """Return *n* gibibytes in bytes."""
+    return int(n * 1024 * 1024 * 1024)
+
+
+def ns_to_cycles(ns: float, clock_hz: int = DEFAULT_CLOCK_HZ) -> int:
+    """Convert nanoseconds to (rounded) cycles at *clock_hz*."""
+    return int(round(ns * clock_hz / 1e9))
+
+
+def cycles_to_ns(cycles: float, clock_hz: int = DEFAULT_CLOCK_HZ) -> float:
+    """Convert cycles at *clock_hz* to nanoseconds."""
+    return cycles * 1e9 / clock_hz
+
+
+def cycles_to_us(cycles: float, clock_hz: int = DEFAULT_CLOCK_HZ) -> float:
+    """Convert cycles at *clock_hz* to microseconds."""
+    return cycles * 1e6 / clock_hz
+
+
+def cycles_to_ms(cycles: float, clock_hz: int = DEFAULT_CLOCK_HZ) -> float:
+    """Convert cycles at *clock_hz* to milliseconds."""
+    return cycles * 1e3 / clock_hz

@@ -1,0 +1,25 @@
+"""Virtual-Link — the state-of-the-art hardware queue SPAMeR builds on.
+
+Implements the VLRD routing device (prodBuf / consBuf / linkTab and the
+three-stage address-mapping pipeline), producer/consumer endpoints, and the
+user-space queue library with its fast/slow dequeue paths.
+"""
+
+from repro.vlink.endpoint import ConsumerEndpoint, ProducerEndpoint
+from repro.vlink.library import QueueLibrary
+from repro.vlink.linktab import LinkRow, LinkTab
+from repro.vlink.packets import ConsRequest, Message, ProdEntry
+from repro.vlink.vlrd import SpecTarget, VirtualLinkRoutingDevice
+
+__all__ = [
+    "ConsRequest",
+    "ConsumerEndpoint",
+    "LinkRow",
+    "LinkTab",
+    "Message",
+    "ProdEntry",
+    "ProducerEndpoint",
+    "QueueLibrary",
+    "SpecTarget",
+    "VirtualLinkRoutingDevice",
+]

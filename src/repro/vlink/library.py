@@ -1,0 +1,259 @@
+"""The user-space queue library (Sections 3.4 and 4.2).
+
+This is the software layer the benchmarks link against — the reproduction of
+the revised VL library:
+
+* ``create_queue`` allocates an SQI (a linkTab row).
+* ``open_producer`` / ``open_consumer`` allocate endpoint buffers at unique
+  addresses and subscribe them to the SQI; speculative consumer endpoints
+  are registered in specBuf with ``spamer_register`` before being returned
+  to the application (Section 3.4), and their dequeue path *skips* the
+  ``vl_select``/``vl_fetch`` issue entirely.
+* ``push`` — write the staging line, ``vl_select`` + ``vl_push``; blocks
+  only on prodBuf backpressure (ownership transfers to the device).
+* ``pop`` — fast path when the round-robin line already holds data (an L1
+  hit); otherwise the slow path issues a fetch (legacy endpoints), polls,
+  and periodically re-issues the fetch — the re-issues are the paper's
+  "prerequest" behaviour whose accidental-prefetch effects Section 4.2
+  observes on VL.
+
+Library-call overhead models Section 3.4's macro-inlining: with
+``config.inline_library=False`` every push/pop pays ``call_overhead`` extra
+cycles (the paper measured inlining worth ~1.02× on average).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from repro.errors import RegistrationError, WorkloadError
+from repro.mem.bus import PacketKind
+from repro.mem.cacheline import LineState
+from repro.sim.trace import EventKind
+from repro.vlink.endpoint import ConsumerEndpoint, ProducerEndpoint
+from repro.vlink.packets import ConsRequest, Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system import System
+
+
+class QueueLibrary:
+    """Software API over the routing device; bound to one :class:`System`."""
+
+    #: SQI 0 is reserved — a zero consHead means "no consumer request" in
+    #: the Stage-3 multiplexer (Section 3.1), so valid SQIs start at 1.
+    FIRST_SQI = 1
+
+    def __init__(self, system: "System") -> None:
+        self.system = system
+        self.env = system.env
+        self.config = system.config
+        self._next_sqi = self.FIRST_SQI
+        self._next_endpoint_id = 0
+        self.producers: list = []
+        self.consumers: list = []
+
+    # ------------------------------------------------------------ queue setup
+    def create_queue(self) -> int:
+        """Allocate a fresh SQI (one linkTab row)."""
+        sqi = self._next_sqi
+        self._next_sqi += 1
+        # Reserve the row eagerly on the owning router (SQIs shard across
+        # routers when config.num_routers > 1).
+        self.system.device_for(sqi).linktab.row(sqi)
+        return sqi
+
+    def open_producer(self, sqi: int, core_id: int) -> ProducerEndpoint:
+        """Subscribe a producer endpoint on *core_id* to *sqi*."""
+        self._check_core(core_id)
+        segment = self.system.addr_space.alloc_endpoint_buffer(
+            self.config.lines_per_endpoint
+        )
+        endpoint = ProducerEndpoint(self._take_endpoint_id(), sqi, segment, core_id)
+        self.producers.append(endpoint)
+        return endpoint
+
+    def open_consumer(
+        self,
+        sqi: int,
+        core_id: int,
+        num_lines: Optional[int] = None,
+        speculative: Optional[bool] = None,
+    ) -> ConsumerEndpoint:
+        """Subscribe a consumer endpoint on *core_id* to *sqi*.
+
+        ``speculative=None`` follows the system default (on for SPAMeR
+        builds); ``False`` requests a legacy endpoint whose registrations
+        are skipped (Section 3.4's legacy option).
+
+        ``num_lines=None`` picks the natural default: legacy (on-demand)
+        endpoints get a single cacheline — the pop loop spins on one line
+        and requests it on demand — while speculative endpoints get
+        ``config.lines_per_endpoint`` lines registered in specBuf so pushes
+        can land ahead of the consumer (incast's master registers 32,
+        Section 4.3).
+        """
+        self._check_core(core_id)
+        spec = self.system.spec_default if speculative is None else speculative
+        if num_lines is not None:
+            lines = num_lines
+        else:
+            lines = self.config.lines_per_endpoint if spec else 1
+        segment = self.system.addr_space.alloc_endpoint_buffer(lines)
+        if spec and not self.system.supports_speculation:
+            raise RegistrationError(
+                "speculative endpoint requested on a baseline Virtual-Link "
+                "system; build System(device='spamer') or pass speculative=False"
+            )
+        endpoint = ConsumerEndpoint(
+            self.env,
+            self._take_endpoint_id(),
+            sqi,
+            segment,
+            core_id,
+            lines,
+            spec_enabled=spec,
+        )
+        if spec:
+            # spamer_register for each endpoint before handing it to the app.
+            self.system.device_for(sqi).register_spec_target(endpoint)
+        self.consumers.append(endpoint)
+        return endpoint
+
+    def _take_endpoint_id(self) -> int:
+        eid = self._next_endpoint_id
+        self._next_endpoint_id += 1
+        return eid
+
+    def _check_core(self, core_id: int) -> None:
+        if not 0 <= core_id < self.config.num_cores:
+            raise WorkloadError(
+                f"core {core_id} out of range (system has {self.config.num_cores})"
+            )
+
+    # ------------------------------------------------------------------- push
+    def push(self, producer: ProducerEndpoint, payload: Any) -> Generator:
+        """Enqueue one message (``yield from`` inside a thread program)."""
+        cfg = self.config
+        cost = cfg.line_write_cost + cfg.push_instruction_cost
+        if not cfg.inline_library:
+            cost += cfg.call_overhead
+        yield self.env.timeout(cost)
+        # prodBuf backpressure: claim an entry from the shared pool, or
+        # wait on this SQI's reserve (the forward-progress guarantee).
+        device = self.system.device_for(producer.sqi)
+        granted, pool = device.acquire_entry(producer.sqi)
+        yield granted
+        message = Message(
+            payload=payload,
+            sqi=producer.sqi,
+            producer_id=producer.endpoint_id,
+            seq=producer.take_seq(),
+            transaction_id=self.system.trace.new_transaction(),
+            produced_at=self.env.now,
+            credit_pool=pool,
+        )
+        producer.pushes += 1
+        # vl_push is posted (writeback-like): the producer continues while
+        # the packet traverses the network; ownership is with the device.
+        self.system.network.transit(PacketKind.PUSH_DATA).subscribe(
+            lambda _ev, m=message: device.accept_push(m)
+        )
+        return message
+
+    # -------------------------------------------------------------------- pop
+    def pop(self, consumer: ConsumerEndpoint) -> Generator:
+        """Dequeue one message (``yield from`` inside a thread program)."""
+        message = yield from self._pop_impl(consumer, stop_check=None)
+        assert message is not None
+        return message
+
+    def pop_until(self, consumer: ConsumerEndpoint, stop_check) -> Generator:
+        """Dequeue one message, or return None once *stop_check()* is true.
+
+        The cancellable pop that M:N consumer workers use for termination:
+        with many consumers sharing an SQI, per-worker message counts are
+        decided dynamically by the routing device, so workers loop "pop
+        until the shared work counter says everything is processed".
+        """
+        return self._pop_impl(consumer, stop_check=stop_check)
+
+    def _pop_impl(self, consumer: ConsumerEndpoint, stop_check) -> Generator:
+        cfg = self.config
+        if not cfg.inline_library:
+            yield self.env.timeout(cfg.call_overhead)
+
+        if not consumer.spec_enabled:
+            # Legacy dequeue: vl_select + vl_fetch are issued unconditionally
+            # at the top of the pop — when data already sits in the line
+            # (fast path) the fetch is *stale* by the time it reaches the
+            # device: the paper's "prerequest" (Section 4.2), which acts as
+            # an unguided prefetch for the next message (and fails when that
+            # message lands while the line is still full).
+            yield self.env.timeout(cfg.fetch_instruction_cost)
+            self._send_request(
+                consumer,
+                prerequest=consumer.current_line.state is LineState.VALID,
+            )
+
+        line = consumer.current_line
+        if line.state is not LineState.VALID:
+            # ---- slow path: poll the line until the stash lands.
+            stall_start = self.env.now
+            since_fetch = 0
+            refetch_after = cfg.refetch_interval
+            while consumer.current_line.state is not LineState.VALID:
+                if (
+                    cfg.spin_then_yield
+                    and self.env.now - stall_start >= cfg.spin_threshold
+                ):
+                    # Optional spin-then-yield discipline (ablation knob):
+                    # deschedule after the spin window; the wake quantum
+                    # coarsens delivery detection.
+                    quantum = cfg.yield_penalty
+                else:
+                    quantum = cfg.poll_interval
+                yield self.env.timeout(quantum)
+                if stop_check is not None and stop_check():
+                    return None
+                since_fetch += quantum
+                if not consumer.spec_enabled and since_fetch >= refetch_after:
+                    # Re-issue the fetch.  The first re-issue races the
+                    # expected stash (refetch_interval ≈ the load-to-use
+                    # round trip) — the "prerequest" of Section 4.2; the
+                    # interval then backs off exponentially so long waits
+                    # (wavefront stalls) do not spam the network, and a
+                    # request NACKed by a full consBuf is still recovered.
+                    self._send_request(consumer, prerequest=True)
+                    since_fetch = 0
+                    refetch_after = min(refetch_after * 2, 1 << 16)
+                if self.env.now - stall_start >= cfg.stale_scan_threshold:
+                    recovered = consumer.oldest_valid_line()
+                    if recovered is not None:
+                        consumer.retarget(recovered)
+                        break
+                    stall_start = self.env.now
+            # Spin-loop exit: branch recovery / pipeline refill.
+            yield self.env.timeout(cfg.slow_path_penalty)
+            line = consumer.current_line
+
+        # ---- fast path / delivery: read, trace first use, vacate.
+        self.system.trace.record(EventKind.FIRST_USE, line.fill_txn or 0, consumer.sqi)
+        yield self.env.timeout(cfg.pop_fast_path_cost)
+        message = line.consume()
+        self.system.latency_stats.add(self.env.now - message.produced_at)
+        consumer.advance()
+        consumer.pops += 1
+        return message
+
+    def _send_request(self, consumer: ConsumerEndpoint, prerequest: bool) -> None:
+        """Fire a vl_fetch packet at the device (posted, non-blocking)."""
+        request = ConsRequest(
+            sqi=consumer.sqi,
+            line=consumer.current_line,
+            issued_at=self.env.now,
+            prerequest=prerequest,
+        )
+        self.system.network.transit(PacketKind.REQUEST).subscribe(
+            lambda _ev, r=request: self.system.device_for(consumer.sqi).accept_request(r)
+        )

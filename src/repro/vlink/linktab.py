@@ -1,0 +1,71 @@
+"""The linkTab: per-SQI metadata inside the routing device.
+
+Physically the VLRD keeps head/tail register pairs indexing shared prodBuf /
+consBuf entries (Figure 4/5); logically each SQI owns two FIFOs — buffered
+producer data awaiting a target, and pending consumer requests awaiting
+data.  We model the logical FIFOs directly; the *shared-entry* capacity
+limits are enforced globally by the routing device (prodBuf credits,
+consBuf occupancy), exactly as the dynamically-shared entries of the real
+design behave.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.errors import RegistrationError
+from repro.vlink.packets import ConsRequest, ProdEntry
+
+
+class LinkRow:
+    """One linkTab row: the logical queues of a single SQI."""
+
+    __slots__ = ("sqi", "buffered_data", "pending_requests", "spec_head")
+
+    def __init__(self, sqi: int) -> None:
+        self.sqi = sqi
+        #: Producer packets with no target yet (prodHead/prodTail queue).
+        self.buffered_data: Deque[ProdEntry] = deque()
+        #: Registered consumer requests (consHead/consTail queue).
+        self.pending_requests: Deque[ConsRequest] = deque()
+        #: Index into specBuf of the next speculation candidate (SPAMeR,
+        #: the linkTabSpec extension — Section 3.2).  None = no spec entry.
+        self.spec_head: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LinkRow sqi={self.sqi} data={len(self.buffered_data)} "
+            f"reqs={len(self.pending_requests)} specHead={self.spec_head}>"
+        )
+
+
+class LinkTab:
+    """The table of :class:`LinkRow` entries, bounded by the hardware size."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise RegistrationError(f"linkTab capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._rows: Dict[int, LinkRow] = {}
+
+    def row(self, sqi: int) -> LinkRow:
+        """Return the row for *sqi*, allocating it on first use."""
+        if sqi not in self._rows:
+            if len(self._rows) >= self.capacity:
+                raise RegistrationError(
+                    f"linkTab full: cannot allocate SQI {sqi} "
+                    f"(capacity {self.capacity})"
+                )
+            self._rows[sqi] = LinkRow(sqi)
+        return self._rows[sqi]
+
+    def __contains__(self, sqi: int) -> bool:
+        return sqi in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def rows(self) -> Dict[int, LinkRow]:
+        return self._rows

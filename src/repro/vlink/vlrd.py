@@ -1,0 +1,336 @@
+"""The Virtual-Link Routing Device (VLRD) — the baseline hardware queue.
+
+The VLRD (Section 2, Figures 2–5) is attached to the coherence network and
+moves cachelines from producer endpoints to consumer endpoints:
+
+1. ``vl_push`` copies producer data into a **prodBuf** entry (ownership
+   transfers to the device; the producer's line stays writable).
+2. ``vl_fetch`` registers a consumer cacheline address in a **consBuf**
+   entry.
+3. The three-stage *address mapping* pipeline pairs the two on the same SQI:
+   a matched packet enters the sending queue and is stashed into the
+   consumer cacheline; an unmatched packet is parked on the SQI's buffering
+   queue in **linkTab**.
+4. The target cache controller answers each stash with a hit/miss response:
+   a hit frees the prodBuf entry; a miss re-enters the packet into the
+   mapping pipeline (Figure 5, path B/C).
+
+This class implements the full on-demand path and exposes two extension
+points the SPAMeR device (:class:`repro.spamer.srd.SpamerRoutingDevice`)
+overrides: :meth:`_speculation_target` (consult specBuf when no request is
+pending) and :meth:`_on_spec_response` (feed the delay-prediction
+algorithm).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.config import SystemConfig
+from repro.errors import RegistrationError
+from repro.mem.bus import CoherenceNetwork, PacketKind
+from repro.mem.cacheline import ConsumerLine
+from repro.sim.resources import Resource
+from repro.sim.stats import Counter
+from repro.sim.trace import EventKind, TraceRecorder
+from repro.vlink.linktab import LinkRow, LinkTab
+from repro.vlink.packets import ConsRequest, Message, ProdEntry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Environment
+
+
+class SpecTarget:
+    """A speculation decision: where and when to push (SRD only)."""
+
+    __slots__ = ("line", "entry_index", "send_tick")
+
+    def __init__(self, line: ConsumerLine, entry_index: int, send_tick: int) -> None:
+        self.line = line
+        self.entry_index = entry_index
+        self.send_tick = send_tick
+
+
+class VirtualLinkRoutingDevice:
+    """Baseline on-demand routing device."""
+
+    kind = "VLRD"
+
+    def __init__(
+        self,
+        env: "Environment",
+        config: SystemConfig,
+        network: CoherenceNetwork,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.network = network
+        self.trace = trace or TraceRecorder(env, enabled=False)
+        self.linktab = LinkTab(config.linktab_entries)
+        #: prodBuf admission is two-tier: a small per-SQI *reserve*
+        #: guarantees every queue forward progress (no head-of-line
+        #: deadlock when one producer hoards entries — also the Section 3.6
+        #: DoS mitigation, MPAM-style per-partition limits), while the
+        #: remaining entries form a *shared* pool that lets a bursty queue
+        #: build a real backlog, matching the dynamically-shared entries of
+        #: the physical design.
+        self._reserved_credits: dict = {}
+        self._shared_credits: Optional[Resource] = None
+        self._reserve_per_sqi: Optional[int] = None
+        self._consbuf_occupancy = 0
+        self.stats = Counter()
+
+    # ----------------------------------------------------- admission control
+    def finalize_capacity(self, num_sqis: Optional[int] = None) -> None:
+        """Fix the prodBuf admission tiers once all queues exist.
+
+        Called lazily at the first push: every SQI gets a reserve of 2
+        entries (1 when more than half the entries would be reserved), and
+        the remainder is shared first-come-first-served.
+        """
+        if self._reserve_per_sqi is not None:
+            return
+        n = num_sqis if num_sqis is not None else max(1, len(self.linktab))
+        reserve = 2 if 2 * n <= self.config.prodbuf_entries else 1
+        self._reserve_per_sqi = reserve
+        shared = max(0, self.config.prodbuf_entries - reserve * n)
+        self._shared_credits = Resource(
+            self.env, max(1, shared), name="prodBuf[shared]"
+        )
+
+    def _reserved(self, sqi: int) -> Resource:
+        if self._reserve_per_sqi is None:
+            self.finalize_capacity()
+        if sqi not in self._reserved_credits:
+            self._reserved_credits[sqi] = Resource(
+                self.env, self._reserve_per_sqi, name=f"prodBuf[sqi={sqi}]"
+            )
+        return self._reserved_credits[sqi]
+
+    def acquire_entry(self, sqi: int):
+        """Claim a prodBuf entry for a push; returns ``(event, pool)``.
+
+        Takes a shared entry when one is free; otherwise falls back to the
+        SQI's reserve (waiting on it if occupied — the reserve is the
+        forward-progress guarantee, so waiters queue there rather than on
+        the shared pool).
+        """
+        if self._reserve_per_sqi is None:
+            self.finalize_capacity()
+        assert self._shared_credits is not None
+        if self._shared_credits.try_acquire():
+            done = self.env.event()
+            done.succeed()
+            return done, "shared"
+        return self._reserved(sqi).acquire(), "reserved"
+
+    def release_entry(self, sqi: int, pool: Optional[str]) -> None:
+        """Return a prodBuf entry to the pool it was claimed from.
+
+        ``pool=None`` (a message injected without admission) is a no-op.
+        """
+        if pool is None:
+            return
+        if pool == "shared":
+            assert self._shared_credits is not None
+            self._shared_credits.release()
+        else:
+            self._reserved(sqi).release()
+
+    @property
+    def entries_in_use(self) -> int:
+        """prodBuf occupancy across both admission tiers."""
+        shared = self._shared_credits.in_use if self._shared_credits else 0
+        return shared + sum(r.in_use for r in self._reserved_credits.values())
+
+    # ------------------------------------------------------------------ helpers
+    def _after(self, delay: int, fn: Callable[[], None]) -> None:
+        """Run *fn* after *delay* cycles (device-internal sequencing)."""
+        self.env.timeout(delay).subscribe(lambda _ev: fn())
+
+    # ----------------------------------------------------------- producer side
+    def accept_push(self, message: Message) -> None:
+        """A vl_push packet arrived over the network (credit already held)."""
+        self.stats.add("data_arrivals")
+        self.trace.record(EventKind.DATA_ARRIVE, message.transaction_id, message.sqi)
+        entry = ProdEntry(message, arrived_at=self.env.now)
+        self._after(self.config.srd_pipeline_latency, lambda: self._map(entry))
+
+    def _map(self, entry: ProdEntry) -> None:
+        """Address-mapping pipeline outcome for one prodBuf entry."""
+        row = self.linktab.row(entry.sqi)
+        if row.buffered_data:
+            # Keep per-SQI FIFO: fresh arrivals queue behind parked packets.
+            row.buffered_data.append(entry)
+            self._kick(row)
+            return
+        self._map_front(row, entry)
+
+    def _map_front(self, row: LinkRow, entry: ProdEntry) -> None:
+        """Map *entry* (known to be the oldest packet of its SQI)."""
+        request = self._pop_request(row)
+        if request is not None:
+            self.trace.record_at(
+                EventKind.REQUEST_ARRIVE,
+                request.arrived_at,
+                entry.message.transaction_id,
+                entry.sqi,
+            )
+            self._dispatch(entry, request.line, speculative=False)
+            return
+        spec = self._speculation_target(row, entry)
+        if spec is not None:
+            entry.spec_entry_index = spec.entry_index
+            delay = max(0, spec.send_tick - self.env.now)
+            self.stats.add("spec_selected")
+            self._after(delay, lambda: self._dispatch(entry, spec.line, speculative=True))
+            return
+        row.buffered_data.append(entry)
+        self.stats.add("buffered")
+
+    # ----------------------------------------------------------- consumer side
+    def accept_request(self, request: ConsRequest) -> None:
+        """A vl_fetch packet arrived over the network."""
+        request.arrived_at = self.env.now
+        self.stats.add("request_arrivals")
+        if self._consbuf_occupancy >= self.config.consbuf_entries:
+            # consBuf exhausted: the store is NACKed; the consumer's poll
+            # loop re-issues the fetch later.
+            self.stats.add("requests_dropped")
+            return
+        self._consbuf_occupancy += 1
+        self._after(self.config.srd_pipeline_latency, lambda: self._on_request(request))
+
+    def _on_request(self, request: ConsRequest) -> None:
+        row = self.linktab.row(request.sqi)
+        if not row.buffered_data and any(
+            pending.line is request.line for pending in row.pending_requests
+        ):
+            # Coalesce: a request for this cacheline is already registered
+            # (an MSHR-style CAM match).  Re-issued fetches from the polling
+            # loop would otherwise accumulate and exhaust consBuf.
+            self._consbuf_occupancy -= 1
+            self.stats.add("requests_coalesced")
+            return
+        if row.buffered_data:
+            entry = row.buffered_data.popleft()
+            self._consbuf_occupancy -= 1
+            self.trace.record_at(
+                EventKind.REQUEST_ARRIVE,
+                request.arrived_at,
+                entry.message.transaction_id,
+                entry.sqi,
+            )
+            self._dispatch(entry, request.line, speculative=False)
+        else:
+            row.pending_requests.append(request)
+
+    def _pop_request(self, row: LinkRow) -> Optional[ConsRequest]:
+        if row.pending_requests:
+            self._consbuf_occupancy -= 1
+            return row.pending_requests.popleft()
+        return None
+
+    # ------------------------------------------------------------ push path
+    def _dispatch(self, entry: ProdEntry, line: ConsumerLine, speculative: bool) -> None:
+        """Send one stash packet to *line* and handle the response."""
+        entry.attempts += 1
+        self.stats.add("push_attempts")
+        self.stats.add("spec_pushes" if speculative else "ondemand_pushes")
+        delivered = self.network.transit(PacketKind.STASH)
+
+        def on_delivery(_ev) -> None:
+            vacate_time = line.last_vacate_time
+            hit = line.try_fill(entry.message, entry.message.transaction_id)
+            if hit:
+                txn = entry.message.transaction_id
+                self.trace.record_at(EventKind.LINE_VACATE, vacate_time, txn, entry.sqi)
+                self.trace.record(
+                    EventKind.LINE_FILL, txn, entry.sqi,
+                    detail="speculative" if speculative else "on-demand",
+                )
+            # The hit/miss response signal rides back to the device.
+            self.network.response().subscribe(
+                lambda _r: self._on_response(entry, line, hit, speculative)
+            )
+
+        delivered.subscribe(on_delivery)
+
+    def _on_response(
+        self, entry: ProdEntry, line: ConsumerLine, hit: bool, speculative: bool
+    ) -> None:
+        row = self.linktab.row(entry.sqi)
+        if speculative:
+            self._on_spec_response(entry, hit)
+        if hit:
+            self.stats.add("push_hits")
+            self.stats.add("spec_hits" if speculative else "ondemand_hits")
+            self.release_entry(entry.sqi, entry.message.credit_pool)
+        else:
+            self.stats.add("push_failures")
+            self.stats.add("spec_failures" if speculative else "ondemand_failures")
+            entry.spec_entry_index = None
+            # Figure 5: the prodBuf entry re-enters the mapping pipeline.
+            self._after(
+                self.config.srd_pipeline_latency,
+                lambda: self._map(entry),
+            )
+        self._kick(row)
+
+    def _kick(self, row: LinkRow) -> None:
+        """Drain the SQI's buffering queue while targets are available."""
+        while row.buffered_data:
+            if row.pending_requests:
+                entry = row.buffered_data.popleft()
+                request = self._pop_request(row)
+                assert request is not None
+                self.trace.record_at(
+                    EventKind.REQUEST_ARRIVE,
+                    request.arrived_at,
+                    entry.message.transaction_id,
+                    entry.sqi,
+                )
+                self._dispatch(entry, request.line, speculative=False)
+                continue
+            spec = self._speculation_target(row, row.buffered_data[0])
+            if spec is not None:
+                entry = row.buffered_data.popleft()
+                entry.spec_entry_index = spec.entry_index
+                delay = max(0, spec.send_tick - self.env.now)
+                self.stats.add("spec_selected")
+                self._after(
+                    delay, lambda e=entry, s=spec: self._dispatch(e, s.line, speculative=True)
+                )
+                continue
+            break
+
+    # -------------------------------------------------------- extension points
+    def _speculation_target(self, row: LinkRow, entry: ProdEntry) -> Optional[SpecTarget]:
+        """Baseline device never speculates."""
+        return None
+
+    def _on_spec_response(self, entry: ProdEntry, hit: bool) -> None:
+        """Baseline device never receives speculative responses."""
+        raise RegistrationError("VLRD received a speculative push response")
+
+    def register_spec_target(self, endpoint) -> None:
+        """spamer_register on the baseline device is an invalid access."""
+        raise RegistrationError(
+            "spamer_register executed against a baseline VLRD; build the "
+            "system with SpamerRoutingDevice to use speculative pushes"
+        )
+
+    # ------------------------------------------------------------------ metrics
+    @property
+    def push_attempts(self) -> int:
+        return self.stats.get("push_attempts")
+
+    @property
+    def push_failures(self) -> int:
+        return self.stats.get("push_failures")
+
+    def failure_rate(self) -> float:
+        """Failed pushes out of all pushes (Figure 10a)."""
+        attempts = self.push_attempts
+        return self.push_failures / attempts if attempts else 0.0

@@ -1,0 +1,33 @@
+"""The paper's 8 task-parallel benchmarks (Table 2).
+
+Each workload declares its queue topology in ``(M:N)×k`` notation, spawns
+one pinned thread per core, and validates message conservation (and, where
+applicable, numerical correctness — FIR checks against a direct convolution,
+bitonic checks blocks come back sorted).
+"""
+
+from repro.workloads.base import QueueSpec, WorkCounter, Workload
+from repro.workloads.dsp import Fir
+from repro.workloads.ember import Halo, Incast, PingPong, Sweep
+from repro.workloads.packet import Firewall, Pipeline
+from repro.workloads.registry import WORKLOAD_CLASSES, make_workload, workload_names
+from repro.workloads.sort import Bitonic, bitonic_sort, compare_exchange_count
+
+__all__ = [
+    "Bitonic",
+    "Fir",
+    "Firewall",
+    "Halo",
+    "Incast",
+    "PingPong",
+    "Pipeline",
+    "QueueSpec",
+    "Sweep",
+    "WORKLOAD_CLASSES",
+    "WorkCounter",
+    "Workload",
+    "bitonic_sort",
+    "compare_exchange_count",
+    "make_workload",
+    "workload_names",
+]

@@ -1,0 +1,138 @@
+"""Workload framework: Table 2 topologies, shared counters, validation.
+
+A workload declares its queue topology in the paper's ``(M:N)×k`` notation,
+builds endpoints and thread programs against a :class:`~repro.system.System`,
+and validates its own message accounting after the run (conservation: every
+produced message is consumed exactly once).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, TYPE_CHECKING
+
+from repro.errors import WorkloadError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system import System
+
+
+@dataclass(frozen=True)
+class QueueSpec:
+    """One ``(M:N)×k`` topology term of Table 2."""
+
+    producers: int
+    consumers: int
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.producers < 1 or self.consumers < 1 or self.count < 1:
+            raise WorkloadError(f"invalid queue spec {self!r}")
+
+    def label(self) -> str:
+        return f"({self.producers}:{self.consumers})x{self.count}"
+
+
+class WorkCounter:
+    """A shared atomic work counter for M:N consumer termination.
+
+    With several consumers on one SQI, the routing device decides the
+    per-consumer message distribution dynamically, so workers cannot expect
+    fixed counts; instead they loop ``pop_until(all_work_done)`` against
+    this counter — the standard shared-counter termination idiom of
+    task-parallel runtimes.  (The counter itself would live in one coherent
+    cacheline; its increment cost is charged by the caller via
+    ``ctx.compute``.)
+    """
+
+    def __init__(self, target: int) -> None:
+        if target < 0:
+            raise WorkloadError(f"negative work target {target}")
+        self.target = target
+        self.done_count = 0
+
+    def mark_done(self, amount: int = 1) -> None:
+        self.done_count += amount
+        if self.done_count > self.target:
+            raise WorkloadError(
+                f"work counter overran: {self.done_count} > {self.target} "
+                "(duplicate message delivery?)"
+            )
+
+    def all_done(self) -> bool:
+        return self.done_count >= self.target
+
+
+class Workload(ABC):
+    """Base class for the 8 task-parallel benchmarks (Table 2)."""
+
+    #: Registry key and Table 2 name, e.g. ``"ping-pong"``.
+    name: str = "abstract"
+    #: Table 2 description.
+    description: str = ""
+
+    def __init__(self, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise WorkloadError(f"scale must be > 0, got {scale}")
+        self.scale = scale
+        #: Multiset of produced payload keys, filled during build/run.
+        self.produced: Dict[object, int] = {}
+        #: Multiset of consumed payload keys.
+        self.consumed: Dict[object, int] = {}
+
+    # -- declarative interface ---------------------------------------------------
+    @abstractmethod
+    def topology(self) -> List[QueueSpec]:
+        """The queue topology in Table 2 notation."""
+
+    @abstractmethod
+    def num_threads(self) -> int:
+        """Number of software threads (each pinned to one core)."""
+
+    @abstractmethod
+    def build(self, system: "System") -> None:
+        """Create queues/endpoints and spawn this workload's threads."""
+
+    # -- helpers -------------------------------------------------------------------
+    def scaled(self, n: int) -> int:
+        """Scale a message/iteration count by the workload's scale factor."""
+        return max(1, int(round(n * self.scale)))
+
+    def note_produced(self, key: object) -> None:
+        self.produced[key] = self.produced.get(key, 0) + 1
+
+    def note_consumed(self, key: object) -> None:
+        self.consumed[key] = self.consumed.get(key, 0) + 1
+
+    def validate(self) -> None:
+        """Check message conservation after the run.
+
+        Raises :class:`WorkloadError` when any message was lost or
+        duplicated — the core functional invariant of the queue substrate.
+        """
+        if self.produced != self.consumed:
+            missing = {
+                k: v - self.consumed.get(k, 0)
+                for k, v in self.produced.items()
+                if self.consumed.get(k, 0) != v
+            }
+            extra = {
+                k: v - self.produced.get(k, 0)
+                for k, v in self.consumed.items()
+                if self.produced.get(k, 0) != v
+            }
+            raise WorkloadError(
+                f"{self.name}: message conservation violated; "
+                f"missing={dict(list(missing.items())[:5])} "
+                f"extra={dict(list(extra.items())[:5])}"
+            )
+
+    def table2_row(self) -> str:
+        """The workload's Table 2 row: description + topology."""
+        topo = "+".join(spec.label() for spec in self.topology())
+        return f"{self.description} {topo}"
+
+    def total_messages(self) -> int:
+        """Messages produced (available after a run)."""
+        return sum(self.produced.values())

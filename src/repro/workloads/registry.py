@@ -1,0 +1,33 @@
+"""Benchmark registry — the 8 workloads of Table 2, in paper order."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.dsp import Fir
+from repro.workloads.ember import Halo, Incast, PingPong, Sweep
+from repro.workloads.packet import Firewall, Pipeline
+from repro.workloads.sort import Bitonic
+
+#: Table 2 order.
+WORKLOAD_CLASSES = [PingPong, Halo, Sweep, Incast, Pipeline, Firewall, Fir, Bitonic]
+
+_REGISTRY: Dict[str, Callable[..., Workload]] = {
+    cls.name: cls for cls in WORKLOAD_CLASSES
+}
+
+
+def workload_names() -> List[str]:
+    """The benchmark names in Table 2 order."""
+    return [cls.name for cls in WORKLOAD_CLASSES]
+
+
+def make_workload(name: str, scale: float = 1.0) -> Workload:
+    """Instantiate a benchmark by its Table 2 name."""
+    if name not in _REGISTRY:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {workload_names()}"
+        )
+    return _REGISTRY[name](scale=scale)

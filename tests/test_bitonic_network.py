@@ -1,0 +1,64 @@
+"""Tests for the bitonic sorting network implementation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.sort import bitonic_sort, compare_exchange_count, is_power_of_two
+
+
+def test_power_of_two_detection():
+    assert is_power_of_two(1)
+    assert is_power_of_two(64)
+    assert not is_power_of_two(0)
+    assert not is_power_of_two(48)
+
+
+def test_sorts_known_sequence():
+    assert bitonic_sort([3, 1, 4, 1, 5, 9, 2, 6]) == [1, 1, 2, 3, 4, 5, 6, 9]
+
+
+def test_descending_order():
+    assert bitonic_sort([3, 1, 4, 1], ascending=False) == [4, 3, 1, 1]
+
+
+def test_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        bitonic_sort([1, 2, 3])
+
+
+def test_input_not_mutated():
+    data = [5, 2, 8, 1]
+    bitonic_sort(data)
+    assert data == [5, 2, 8, 1]
+
+
+@given(
+    st.lists(st.integers(min_value=-10**9, max_value=10**9), min_size=1, max_size=7)
+    .map(lambda xs: xs * ((2 ** (len(xs) - 1).bit_length()) // len(xs) + 1))
+    .map(lambda xs: xs[: 2 ** ((len(xs)).bit_length() - 1)])
+)
+@settings(max_examples=100, deadline=None)
+def test_sorts_any_power_of_two_input(values):
+    assert is_power_of_two(len(values))
+    assert bitonic_sort(values) == sorted(values)
+
+
+@given(st.integers(min_value=0, max_value=8))
+@settings(max_examples=9, deadline=None)
+def test_compare_exchange_count_formula(log_n):
+    """CE count is (n/2) * log(n) * (log(n)+1) / 2 — the network's size."""
+    n = 2 ** log_n
+    if n == 0:
+        return
+    expected = (n // 2) * log_n * (log_n + 1) // 2
+    assert compare_exchange_count(n) == expected
+
+
+def test_compare_exchange_count_rejects_bad_length():
+    with pytest.raises(ValueError):
+        compare_exchange_count(12)
+
+
+def test_sort_handles_duplicates_and_negatives():
+    data = [0, -5, 3, -5, 3, 0, 7, -1]
+    assert bitonic_sort(data) == sorted(data)

@@ -1,0 +1,198 @@
+"""Tests for metrics, runner, experiments, sweep and area/power models."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.eval import (
+    PAPER_TUNED_PARAMS,
+    Setting,
+    comparison_experiment,
+    default_parameter_grid,
+    estimate_power,
+    estimate_srd_area,
+    estimate_vlrd_area,
+    inlining_experiment,
+    paper_power_bounds,
+    render_fig8,
+    render_fig9,
+    render_fig10a,
+    render_fig10b,
+    render_table1,
+    render_table2,
+    run_workload,
+    sensitivity_sweep,
+    standard_settings,
+    table2,
+    trace_experiment,
+    tuned_setting,
+)
+from repro.eval.metrics import RunMetrics
+from repro.spamer.delay import TunedParams
+
+SCALE = 0.06
+
+
+def make_metrics(**overrides) -> RunMetrics:
+    base = dict(
+        workload="w", setting="s", exec_cycles=1000,
+        messages_delivered=10, messages_produced=10,
+        push_attempts=20, push_failures=5,
+        ondemand_pushes=10, ondemand_failures=1,
+        spec_pushes=10, spec_failures=4,
+        bus_busy_cycles=100, bus_packets=40, request_packets=10,
+        avg_line_empty=600.0, avg_line_valid=400.0,
+    )
+    base.update(overrides)
+    return RunMetrics(**base)
+
+
+# -------------------------------------------------------------------- metrics
+def test_derived_metrics():
+    m = make_metrics()
+    assert m.failure_rate == 0.25
+    assert m.spec_failure_rate == 0.4
+    assert m.bus_utilization == 0.1
+    assert m.push_energy == 20.0
+    assert m.push_frequency == 0.02
+    assert m.exec_ms == pytest.approx(1000 / 2e6)
+
+
+def test_metrics_normalization():
+    base = make_metrics(exec_cycles=2000, push_attempts=10)
+    fast = make_metrics(exec_cycles=1000, push_attempts=30)
+    assert fast.speedup_over(base) == 2.0
+    assert fast.normalized_delay(base) == 0.5
+    assert fast.normalized_energy(base) == 3.0
+
+
+def test_metrics_zero_guards():
+    m = make_metrics(push_attempts=0, push_failures=0, spec_pushes=0,
+                     spec_failures=0)
+    assert m.failure_rate == 0.0
+    assert m.spec_failure_rate == 0.0
+
+
+# --------------------------------------------------------------------- runner
+def test_standard_settings_order():
+    labels = [s.label for s in standard_settings()]
+    assert labels == [
+        "VL(baseline)", "SPAMeR(0delay)", "SPAMeR(adapt)", "SPAMeR(tuned)"
+    ]
+
+
+def test_run_workload_produces_metrics():
+    m = run_workload("ping-pong", standard_settings()[0], scale=SCALE)
+    assert m.workload == "ping-pong"
+    assert m.exec_cycles > 0
+    assert m.messages_delivered == m.messages_produced > 0
+
+
+def test_tuned_setting_builds_with_params():
+    setting = tuned_setting(TunedParams(zeta=128))
+    system = setting.build_system()
+    assert system.device.algorithm.params.zeta == 128
+
+
+# ---------------------------------------------------------------- experiments
+def test_table_renders():
+    t1 = render_table1()
+    assert "16xAArch64 OoO CPU @ 2 GHz" in t1
+    t2 = render_table2()
+    assert "(4:1)x1" in t2 and "bitonic" in t2
+    assert len(table2()) == 8
+
+
+def test_comparison_experiment_and_figures():
+    result = comparison_experiment(
+        workloads=["ping-pong", "incast"],
+        scale=SCALE,
+    )
+    sp = result.speedups()
+    assert sp["ping-pong"]["VL(baseline)"] == 1.0
+    assert sp["incast"]["SPAMeR(0delay)"] > 1.0
+    gm = result.geomean_speedups()
+    assert gm["VL(baseline)"] == 1.0
+    # Breakdown sums to execution time.
+    br = result.breakdown()
+    m = result.metrics["incast"]["VL(baseline)"]
+    empty, nonempty = br["incast"]["VL(baseline)"]
+    assert empty + nonempty == pytest.approx(m.exec_cycles)
+    for render in (render_fig8, render_fig9, render_fig10a, render_fig10b):
+        out = render(result)
+        assert "incast" in out
+
+
+def test_trace_experiment_identifies_request_bound_transactions():
+    r = trace_experiment(scale=0.05)
+    assert len(r.transactions) > 0
+    assert r.speculative_count == 0          # VL never speculates
+    assert r.request_bound_count > 0         # the paper's dark transactions
+    assert r.total_potential_saving > 0
+
+
+def test_trace_experiment_spamer_is_speculative():
+    r = trace_experiment(setting=standard_settings()[1], scale=0.05)
+    assert r.speculative_count == len(r.transactions)
+    assert r.request_bound_count == 0
+
+
+def test_inlining_speedup_positive():
+    res = inlining_experiment(scale=SCALE)
+    assert res["geomean"] > 1.0
+    assert all(v >= 0.95 for k, v in res.items())
+
+
+# ---------------------------------------------------------------------- sweep
+def test_default_grid_contains_paper_point_dimensions():
+    grid = default_parameter_grid()
+    assert len(grid) == 3 * 3 * 3 * 2 * 2
+    assert PAPER_TUNED_PARAMS in grid
+
+
+def test_sensitivity_sweep_normalizes_to_baseline():
+    points = sensitivity_sweep(
+        "incast", params_grid=[PAPER_TUNED_PARAMS], scale=SCALE
+    )
+    labels = [p.label for p in points]
+    assert labels[0] == "VL (baseline)"
+    assert points[0].normalized_delay == 1.0
+    assert points[0].normalized_energy == 1.0
+    tuned_points = [p for p in points if p.is_paper_choice]
+    assert len(tuned_points) == 1
+    assert tuned_points[0].normalized_delay < 1.0  # faster than VL
+
+
+# ----------------------------------------------------------------- area/power
+def test_srd_area_matches_paper_anchor():
+    est = estimate_srd_area()
+    assert est.buffer_total_mm2 == pytest.approx(0.156, rel=1e-6)
+    assert est.total_mm2 == pytest.approx(0.170, rel=1e-6)
+    assert est.share_of_soc(16) < 0.01  # "< 1% of the overall SoC area"
+
+
+def test_srd_within_15pct_of_vlrd():
+    srd = estimate_srd_area().total_mm2
+    vlrd = estimate_vlrd_area().total_mm2
+    assert srd / vlrd < 1.15
+
+
+def test_specbuf_size_scales_area():
+    small = estimate_srd_area(DEFAULT_CONFIG.with_overrides(specbuf_entries=16))
+    assert small.total_mm2 < estimate_srd_area().total_mm2
+
+
+def test_power_bounds_match_paper():
+    bounds = paper_power_bounds()
+    assert bounds["VL(baseline)"].dynamic_mw == pytest.approx(9.33)
+    assert bounds["VL(baseline)"].leakage_mw == pytest.approx(0.82)
+    tuned = bounds["SPAMeR(tuned)"]
+    assert tuned.total_mw == pytest.approx(9.33 * 5.03 + 0.82, rel=1e-3)
+    assert tuned.total_mw < 47.75 + 0.01     # "47.75 mW ... at most"
+    assert tuned.share_of_soc() < 0.0023 + 1e-4  # "about 0.23%"
+
+
+def test_power_rejects_negative_frequency():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        estimate_power(-1.0)

@@ -1,0 +1,138 @@
+"""Unit and property tests for the MOESI coherence substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SystemConfig
+from repro.mem.cache import MoesiState
+from repro.mem.coherence import CoherentMemorySystem
+from repro.sim.kernel import Environment
+
+
+@pytest.fixture
+def mem(env):
+    return CoherentMemorySystem(env, SystemConfig(num_cores=4))
+
+
+def run_op(env, gen):
+    """Drive a yield-from memory operation to completion."""
+    proc = env.process(gen)
+    return env.run_until_complete(proc)
+
+
+def test_load_returns_stored_value(env, mem):
+    run_op(env, mem.store(0, 0x1000, 42))
+    assert run_op(env, mem.load(0, 0x1000)) == 42
+
+
+def test_cold_load_goes_to_dram(env, mem):
+    run_op(env, mem.load(0, 0x1000))
+    assert mem.dram.reads == 1
+    assert mem.counters.get("dram_fills") == 1
+
+
+def test_second_load_hits_l1(env, mem):
+    run_op(env, mem.load(0, 0x1000))
+    t0 = env.now
+    run_op(env, mem.load(0, 0x1000))
+    assert env.now - t0 == mem.config.l1d.hit_latency
+    assert mem.counters.get("load_hits") == 1
+
+
+def test_remote_dirty_line_supplied_cache_to_cache(env, mem):
+    run_op(env, mem.store(0, 0x2000, 7))
+    assert mem.l1[0].state_of(0x2000) is MoesiState.MODIFIED
+    value = run_op(env, mem.load(1, 0x2000))
+    assert value == 7
+    assert mem.counters.get("c2c_transfers") == 1
+    # Supplier degrades to OWNED, requester takes SHARED.
+    assert mem.l1[0].state_of(0x2000) is MoesiState.OWNED
+    assert mem.l1[1].state_of(0x2000) is MoesiState.SHARED
+
+
+def test_store_invalidates_sharers(env, mem):
+    run_op(env, mem.load(0, 0x3000))
+    run_op(env, mem.load(1, 0x3000))
+    run_op(env, mem.store(1, 0x3000, 9))
+    assert mem.l1[0].state_of(0x3000) is MoesiState.INVALID
+    assert mem.l1[1].state_of(0x3000) is MoesiState.MODIFIED
+    assert mem.counters.get("upgrades") == 1
+
+
+def test_exclusive_fill_when_no_sharers(env, mem):
+    run_op(env, mem.load(0, 0x4000))
+    assert mem.l1[0].state_of(0x4000) is MoesiState.EXCLUSIVE
+
+
+def test_shared_fill_when_other_sharer(env, mem):
+    run_op(env, mem.load(0, 0x5000))
+    run_op(env, mem.load(1, 0x5000))
+    assert mem.l1[1].state_of(0x5000) is MoesiState.SHARED
+
+
+def test_silent_upgrade_exclusive_to_modified(env, mem):
+    run_op(env, mem.load(0, 0x6000))  # E
+    bus_before = mem.network.total_packets
+    run_op(env, mem.store(0, 0x6000, 1))
+    assert mem.network.total_packets == bus_before  # silent E->M
+    assert mem.l1[0].state_of(0x6000) is MoesiState.MODIFIED
+
+
+def test_cas_success_and_failure(env, mem):
+    run_op(env, mem.store(0, 0x7000, 5))
+    assert run_op(env, mem.cas(1, 0x7000, 5, 6)) is True
+    assert run_op(env, mem.cas(0, 0x7000, 5, 7)) is False
+    assert mem.peek_value(0x7000) == 6
+
+
+def test_fetch_add_returns_previous(env, mem):
+    assert run_op(env, mem.fetch_add(0, 0x8000, 3)) == 0
+    assert run_op(env, mem.fetch_add(1, 0x8000, 3)) == 3
+    assert mem.peek_value(0x8000) == 6
+
+
+def test_ping_pong_lines_bounce(env, mem):
+    """Alternating writers force repeated invalidations (Figure 1a cost)."""
+    for i in range(6):
+        run_op(env, mem.store(i % 2, 0x9000, i))
+    # Each ownership change after the first is an upgrade or RdX.
+    assert mem.counters.get("store_misses") + mem.counters.get("upgrades") >= 5
+    mem.check_coherence_invariant()
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["load", "store", "cas", "fadd"]),
+            st.integers(min_value=0, max_value=3),       # core
+            st.integers(min_value=0, max_value=7),       # line index
+            st.integers(min_value=0, max_value=100),     # value
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_coherence_matches_reference_model(ops):
+    """Property: sequential op streams match a plain dict memory model and
+    never violate the single-writer/multiple-reader invariant."""
+    env = Environment()
+    mem = CoherentMemorySystem(env, SystemConfig(num_cores=4))
+    reference = {}
+    for op, core, line, value in ops:
+        addr = 0x10000 + line * 64
+        if op == "load":
+            got = run_op(env, mem.load(core, addr))
+            assert got == reference.get(addr, 0)
+        elif op == "store":
+            run_op(env, mem.store(core, addr, value))
+            reference[addr] = value
+        elif op == "cas":
+            expected = reference.get(addr, 0)
+            assert run_op(env, mem.cas(core, addr, expected, value)) is True
+            reference[addr] = value
+        else:
+            got = run_op(env, mem.fetch_add(core, addr, value))
+            assert got == reference.get(addr, 0)
+            reference[addr] = got + value
+        mem.check_coherence_invariant()

@@ -1,0 +1,151 @@
+"""Unit tests for the simulation kernel (Environment)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.kernel import Environment, NORMAL, URGENT
+
+
+def test_clock_starts_at_initial_time():
+    assert Environment().now == 0
+    assert Environment(initial_time=100).now == 100
+
+
+def test_step_on_empty_queue_raises(env):
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_run_returns_final_time(env):
+    env.timeout(25)
+    assert env.run() == 25
+
+
+def test_run_until_advances_clock_even_past_last_event(env):
+    env.timeout(5)
+    assert env.run(until=50) == 50
+
+
+def test_run_until_does_not_process_later_events(env):
+    fired = []
+    env.timeout(5).subscribe(lambda e: fired.append(5))
+    env.timeout(80).subscribe(lambda e: fired.append(80))
+    env.run(until=10)
+    assert fired == [5]
+    env.run()
+    assert fired == [5, 80]
+
+
+def test_run_until_in_the_past_rejected(env):
+    env.timeout(5)
+    env.run()
+    with pytest.raises(SchedulingError):
+        env.run(until=1)
+
+
+def test_negative_schedule_rejected(env):
+    ev = env.event()
+    ev._ok, ev._value = True, None
+    with pytest.raises(SchedulingError):
+        env.schedule(ev, delay=-5)
+
+
+def test_same_cycle_fifo_order(env):
+    """Events scheduled for the same cycle fire in scheduling order."""
+    order = []
+    for i in range(10):
+        env.timeout(7).subscribe(lambda e, i=i: order.append(i))
+    env.run()
+    assert order == list(range(10))
+
+
+def test_urgent_priority_preempts_normal(env):
+    order = []
+    normal = env.event()
+    normal._ok, normal._value = True, None
+    normal.callbacks.append(lambda e: order.append("normal"))
+    env.schedule(normal, delay=5, priority=NORMAL)
+    urgent = env.event()
+    urgent._ok, urgent._value = True, None
+    urgent.callbacks.append(lambda e: order.append("urgent"))
+    env.schedule(urgent, delay=5, priority=URGENT)
+    env.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_run_until_complete_returns_process_value(env):
+    def work():
+        yield env.timeout(10)
+        return "result"
+
+    proc = env.process(work())
+    assert env.run_until_complete(proc) == "result"
+    assert env.now == 10
+
+
+def test_run_until_complete_detects_deadlock(env):
+    def work():
+        yield env.event()  # never triggered
+
+    proc = env.process(work())
+    with pytest.raises(SimulationError, match="deadlock"):
+        env.run_until_complete(proc)
+
+
+def test_run_until_complete_respects_limit(env):
+    def ticker():
+        while True:
+            yield env.timeout(10)
+
+    def work():
+        yield env.timeout(10 ** 9)
+
+    env.process(ticker())
+    proc = env.process(work())
+    with pytest.raises(SimulationError, match="limit"):
+        env.run_until_complete(proc, limit=1000)
+
+
+def test_run_until_complete_reraises_process_error(env):
+    def work():
+        yield env.timeout(1)
+        raise ValueError("inside process")
+
+    proc = env.process(work())
+    with pytest.raises(ValueError, match="inside process"):
+        env.run_until_complete(proc)
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_events_fire_in_time_order(delays):
+    """Property: firing order is sorted by time, stable within a cycle."""
+    env = Environment()
+    fired = []
+    for idx, d in enumerate(delays):
+        env.timeout(d).subscribe(lambda e, idx=idx, d=d: fired.append((d, idx)))
+    env.run()
+    assert fired == sorted(fired)
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=30))
+@settings(max_examples=30, deadline=None)
+def test_determinism_across_runs(delays):
+    """Property: two identical schedules produce identical traces."""
+
+    def trace():
+        env = Environment()
+        out = []
+        for idx, d in enumerate(delays):
+            env.timeout(d).subscribe(lambda e, idx=idx: out.append((env.now, idx)))
+        env.run()
+        return out
+
+    assert trace() == trace()
+
+
+def test_peek_reports_next_event_time(env):
+    assert env.peek() is None
+    env.timeout(42)
+    assert env.peek() == 42

@@ -1,0 +1,150 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Environment
+
+
+def test_process_requires_generator(env):
+    def not_a_generator():
+        return 5
+
+    with pytest.raises(SimulationError, match="generator"):
+        env.process(not_a_generator())  # returns int, not generator
+
+
+def test_process_receives_event_values(env):
+    got = []
+
+    def work():
+        value = yield env.timeout(5, value="five")
+        got.append(value)
+
+    env.process(work())
+    env.run()
+    assert got == ["five"]
+
+
+def test_process_is_joinable(env):
+    def child():
+        yield env.timeout(10)
+        return 99
+
+    def parent():
+        result = yield env.process(child())
+        return result + 1
+
+    proc = env.process(parent())
+    assert env.run_until_complete(proc) == 100
+
+
+def test_exception_thrown_into_process(env):
+    caught = []
+
+    def work():
+        ev = env.event()
+        env.timeout(1).subscribe(lambda _e: ev.fail(ValueError("delivered")))
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(work())
+    env.run()
+    assert caught == ["delivered"]
+
+
+def test_uncaught_process_exception_fails_process(env):
+    def work():
+        yield env.timeout(1)
+        raise RuntimeError("oops")
+
+    proc = env.process(work())
+    proc.defuse()
+    env.run()
+    assert proc.triggered
+    assert not proc.ok
+    assert isinstance(proc.value, RuntimeError)
+
+
+def test_yielding_non_event_fails_with_helpful_error(env):
+    def work():
+        yield 42
+
+    proc = env.process(work())
+    proc.defuse()
+    env.run()
+    assert not proc.ok
+    assert "yield" in str(proc.value)
+
+
+def test_yielding_foreign_event_rejected(env):
+    other = Environment()
+
+    def work():
+        yield other.timeout(1)
+
+    proc = env.process(work())
+    proc.defuse()
+    env.run()
+    assert not proc.ok
+    assert "different Environment" in str(proc.value)
+
+
+def test_process_is_alive_until_generator_returns(env):
+    def work():
+        yield env.timeout(10)
+
+    proc = env.process(work())
+    assert proc.is_alive
+    env.run(until=5)
+    assert proc.is_alive
+    env.run()
+    assert not proc.is_alive
+
+
+def test_target_reports_waited_event(env):
+    timeout_holder = []
+
+    def work():
+        t = env.timeout(50)
+        timeout_holder.append(t)
+        yield t
+
+    proc = env.process(work())
+    env.run(until=1)
+    assert proc.target is timeout_holder[0]
+
+
+def test_two_processes_interleave(env):
+    log = []
+
+    def ticker(name, period):
+        for _ in range(3):
+            yield env.timeout(period)
+            log.append((env.now, name))
+
+    env.process(ticker("a", 10))
+    env.process(ticker("b", 15))
+    env.run()
+    # At t=30 both tick; b's timeout was scheduled earlier (t=15 vs t=20),
+    # so the deterministic FIFO tiebreak fires b first.
+    assert log == [
+        (10, "a"), (15, "b"), (20, "a"), (30, "b"), (30, "a"), (45, "b")
+    ]
+
+
+def test_yield_from_subroutine(env):
+    """Processes can factor logic into sub-generators with yield from."""
+
+    def sub():
+        yield env.timeout(5)
+        return "sub-result"
+
+    def work():
+        value = yield from sub()
+        return value.upper()
+
+    proc = env.process(work())
+    assert env.run_until_complete(proc) == "SUB-RESULT"

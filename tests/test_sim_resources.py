@@ -1,0 +1,172 @@
+"""Unit and property tests for Resource, Store and FifoServer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Environment
+from repro.sim.resources import FifoServer, Resource, Store
+
+
+# ------------------------------------------------------------------- Resource
+def test_resource_grants_up_to_capacity(env):
+    res = Resource(env, capacity=2)
+    assert res.acquire().triggered
+    assert res.acquire().triggered
+    third = res.acquire()
+    assert not third.triggered
+    res.release()
+    assert third.triggered
+
+
+def test_resource_fifo_waiters(env):
+    res = Resource(env, capacity=1)
+    res.acquire()
+    waiters = [res.acquire() for _ in range(3)]
+    res.release()
+    assert [w.triggered for w in waiters] == [True, False, False]
+    res.release()
+    assert [w.triggered for w in waiters] == [True, True, False]
+
+
+def test_resource_try_acquire(env):
+    res = Resource(env, capacity=1)
+    assert res.try_acquire()
+    assert not res.try_acquire()
+    res.release()
+    assert res.try_acquire()
+
+
+def test_release_without_acquire_raises(env):
+    res = Resource(env, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_capacity_validation(env):
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_handoff_keeps_in_use_constant(env):
+    res = Resource(env, capacity=1)
+    res.acquire()
+    waiter = res.acquire()
+    res.release()  # handed straight to the waiter
+    assert waiter.triggered
+    assert res.in_use == 1
+    res.release()
+    assert res.in_use == 0
+
+
+# ---------------------------------------------------------------------- Store
+def test_store_fifo_order(env):
+    store = Store(env)
+    for i in range(5):
+        store.put(i)
+    got = [store.get().value for _ in range(5)]
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_store_get_blocks_until_put(env):
+    store = Store(env)
+    getter = store.get()
+    assert not getter.triggered
+    store.put("item")
+    assert getter.triggered
+    assert getter.value == "item"
+
+
+def test_store_capacity_blocks_put(env):
+    store = Store(env, capacity=1)
+    assert store.put("a").triggered
+    blocked = store.put("b")
+    assert not blocked.triggered
+    assert store.get().value == "a"
+    assert blocked.triggered
+    assert store.get().value == "b"
+
+
+def test_store_try_variants(env):
+    store = Store(env, capacity=1)
+    assert store.try_get() is None
+    assert store.try_put("x")
+    assert not store.try_put("y")
+    assert store.try_get() == "x"
+
+
+def test_store_direct_handoff_to_waiting_getter(env):
+    store = Store(env, capacity=1)
+    getter = store.get()
+    store.put("direct")
+    assert getter.value == "direct"
+    assert len(store) == 0
+
+
+# ----------------------------------------------------------------- FifoServer
+def test_fifo_server_serializes(env):
+    server = FifoServer(env, service_time=10)
+    done = [server.serve(), server.serve(), server.serve()]
+    times = []
+    for ev in done:
+        ev.subscribe(lambda e: times.append(env.now))
+    env.run()
+    assert times == [10, 20, 30]
+
+
+def test_fifo_server_busy_accounting(env):
+    server = FifoServer(env, service_time=10)
+    server.serve()
+    server.serve()
+    env.run()
+    assert server.busy_cycles == 20
+    assert server.packets_served == 2
+    assert server.utilization() == 1.0  # back-to-back packets, now == 20
+
+
+def test_fifo_server_idle_gap_not_counted(env):
+    server = FifoServer(env, service_time=5)
+    server.serve()
+    env.run()
+    env.timeout(95)
+    env.run()
+    assert env.now == 100
+    assert server.utilization() == pytest.approx(0.05)
+
+
+def test_fifo_server_extra_delay(env):
+    server = FifoServer(env, service_time=10)
+    first = server.serve(extra_delay=7)
+    times = []
+    first.subscribe(lambda e: times.append(env.now))
+    env.run()
+    assert times == [17]
+    # extra delay is propagation, not occupancy:
+    assert server.busy_cycles == 10
+
+
+def test_fifo_server_negative_service_time_rejected(env):
+    with pytest.raises(SimulationError):
+        FifoServer(env, service_time=-1)
+
+
+@given(
+    arrivals=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=30),
+    service=st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=50, deadline=None)
+def test_fifo_server_conservation_property(arrivals, service):
+    """Property: completions are spaced >= service_time apart and total
+    busy time equals packets x service_time."""
+    env = Environment()
+    server = FifoServer(env, service_time=service)
+    completions = []
+    for a in sorted(arrivals):
+        env.timeout(a).subscribe(
+            lambda _e: server.serve().subscribe(lambda _d: completions.append(env.now))
+        )
+    env.run()
+    assert len(completions) == len(arrivals)
+    assert server.busy_cycles == len(arrivals) * service
+    for earlier, later in zip(completions, completions[1:]):
+        assert later - earlier >= service

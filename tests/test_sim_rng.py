@@ -1,0 +1,77 @@
+"""Unit and property tests for deterministic randomness and bithash."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.rng import RngPool, bithash
+
+
+def test_same_seed_same_stream():
+    a = RngPool(42).stream("x").integers(0, 1000, 10)
+    b = RngPool(42).stream("x").integers(0, 1000, 10)
+    assert list(a) == list(b)
+
+
+def test_different_names_are_independent():
+    pool = RngPool(42)
+    a = list(pool.stream("a").integers(0, 1000, 10))
+    b = list(pool.stream("b").integers(0, 1000, 10))
+    assert a != b
+
+
+def test_stream_is_cached():
+    pool = RngPool(7)
+    assert pool.stream("x") is pool.stream("x")
+
+
+def test_adding_streams_does_not_perturb_existing():
+    pool1 = RngPool(9)
+    s1 = pool1.stream("thread-0")
+    first_draw_alone = s1.integers(0, 10**9)
+
+    pool2 = RngPool(9)
+    pool2.stream("thread-1")  # created first this time
+    s2 = pool2.stream("thread-0")
+    assert s2.integers(0, 10**9) == first_draw_alone
+
+
+@given(
+    base=st.integers(min_value=1, max_value=100_000),
+    fraction=st.floats(min_value=0.0, max_value=0.9),
+)
+@settings(max_examples=100, deadline=None)
+def test_jitter_stays_in_bounds(base, fraction):
+    pool = RngPool(1)
+    value = pool.jitter("j", base, fraction)
+    assert value >= 1
+    assert base * (1 - fraction) - 1 <= value <= base * (1 + fraction) + 1
+
+
+def test_jitter_zero_fraction_is_exact():
+    assert RngPool(1).jitter("j", 500, 0.0) == 500
+
+
+def test_jitter_negative_fraction_rejected():
+    with pytest.raises(ValueError):
+        RngPool(1).jitter("j", 100, -0.1)
+
+
+@given(
+    value=st.integers(min_value=0, max_value=2**31),
+    tsc=st.integers(min_value=0, max_value=2**40),
+    bits=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=200, deadline=None)
+def test_bithash_range(value, tsc, bits):
+    """Property: shift amount is in [1, 2**bits) so delay strictly shrinks."""
+    shift = bithash(value, tsc, bits=bits)
+    assert 1 <= shift < max(2, 1 << bits)
+
+
+def test_bithash_is_deterministic():
+    assert bithash(1000, 12345) == bithash(1000, 12345)
+
+
+def test_bithash_varies_with_tsc():
+    values = {bithash(1 << 12, t) for t in range(64)}
+    assert len(values) > 1  # the obfuscation actually varies

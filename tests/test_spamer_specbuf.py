@@ -1,0 +1,82 @@
+"""Unit tests for specBuf entries and per-SQI rings."""
+
+import pytest
+
+from repro.errors import RegistrationError
+from repro.mem.address import Segment
+from repro.spamer.specbuf import SpecBuf
+from repro.vlink.endpoint import ConsumerEndpoint
+
+
+def make_endpoint(env, endpoint_id=0, sqi=1, num_lines=4):
+    seg = Segment(0x1000 * (endpoint_id + 1), 4096)
+    return ConsumerEndpoint(env, endpoint_id, sqi, seg, core_id=0,
+                            num_lines=num_lines, spec_enabled=True)
+
+
+def test_register_singleton_ring(env):
+    buf = SpecBuf(8)
+    entry = buf.register(make_endpoint(env))
+    assert entry.next_index == entry.index  # self-loop
+    assert buf.ring_of(1) == [entry]
+    assert buf.ring_head(1) is entry
+
+
+def test_ring_links_same_sqi_entries(env):
+    buf = SpecBuf(8)
+    entries = [buf.register(make_endpoint(env, endpoint_id=i, sqi=5)) for i in range(3)]
+    ring = buf.ring_of(5)
+    assert len(ring) == 3
+    assert {e.index for e in ring} == {e.index for e in entries}
+    # Walking `next` visits all entries exactly once per lap.
+    seen = set()
+    cursor = ring[0]
+    for _ in range(3):
+        seen.add(cursor.index)
+        cursor = buf.entry(cursor.next_index)
+    assert cursor is ring[0] and len(seen) == 3
+
+
+def test_rings_of_different_sqis_are_disjoint(env):
+    buf = SpecBuf(8)
+    a = buf.register(make_endpoint(env, endpoint_id=0, sqi=1))
+    b = buf.register(make_endpoint(env, endpoint_id=1, sqi=2))
+    assert buf.ring_of(1) == [a]
+    assert buf.ring_of(2) == [b]
+    assert buf.ring_of(3) == []
+    assert buf.ring_head(3) is None
+
+
+def test_offset_rotation(env):
+    buf = SpecBuf(8)
+    entry = buf.register(make_endpoint(env, num_lines=3))
+    targets = []
+    for _ in range(7):
+        targets.append(entry.target_line.index)
+        entry.advance_offset()
+    assert targets == [0, 1, 2, 0, 1, 2, 0]
+
+
+def test_target_line_follows_offset(env):
+    buf = SpecBuf(8)
+    ep = make_endpoint(env, num_lines=2)
+    entry = buf.register(ep)
+    assert entry.target_line is ep.lines[0]
+    entry.advance_offset()
+    assert entry.target_line is ep.lines[1]
+
+
+def test_capacity_enforced(env):
+    buf = SpecBuf(2)
+    buf.register(make_endpoint(env, endpoint_id=0))
+    buf.register(make_endpoint(env, endpoint_id=1))
+    with pytest.raises(RegistrationError):
+        buf.register(make_endpoint(env, endpoint_id=2))
+
+
+def test_entry_latches_initialised(env):
+    entry = SpecBuf(4).register(make_endpoint(env))
+    assert entry.nfills == 0
+    assert entry.delay == 0
+    assert entry.failed is False
+    assert entry.on_fly is False
