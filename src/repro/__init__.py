@@ -12,6 +12,10 @@ Public API highlights:
   with a delay algorithm: ``"0delay"``, ``"adapt"``, ``"tuned"``).
 * :mod:`repro.workloads` — the paper's 8 task-parallel benchmarks.
 * :mod:`repro.eval` — runners regenerating every table and figure.
+* :mod:`repro.registry` — :func:`~repro.registry.register_device` /
+  :func:`~repro.registry.register_algorithm` decorators plugging new
+  routing devices and delay algorithms into ``System``, the runners and
+  the CLI with zero core edits.
 """
 
 from repro.config import CacheConfig, DEFAULT_CONFIG, SystemConfig
@@ -25,6 +29,14 @@ from repro.errors import (
     SchedulingError,
     SimulationError,
     WorkloadError,
+)
+from repro.registry import (
+    algorithm_names,
+    device_names,
+    register_algorithm,
+    register_device,
+    resolve_algorithm,
+    resolve_device,
 )
 from repro.spamer import (
     AdaptiveDelay,
@@ -69,5 +81,11 @@ __all__ = [
     "WorkloadError",
     "ZeroDelay",
     "algorithm_by_name",
+    "algorithm_names",
+    "device_names",
+    "register_algorithm",
+    "register_device",
+    "resolve_algorithm",
+    "resolve_device",
     "__version__",
 ]

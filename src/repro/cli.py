@@ -28,17 +28,22 @@ from repro.eval.experiments import (
     trace_experiment,
 )
 from repro.eval.report import format_speedup, format_table, format_trace_rows
-from repro.eval.runner import Setting, run_workload, standard_settings
-from repro.spamer.delay import algorithm_by_name
+from repro.eval.runner import (
+    Setting,
+    available_setting_names,
+    run_workload,
+    setting_by_name,
+)
 from repro.workloads.registry import workload_names
 
-SETTING_NAMES = ("vl", "0delay", "adapt", "tuned", "history", "perceptron")
+
+def _setting_names() -> tuple:
+    """Registry-driven: every registered device/zero-arg algorithm shows up."""
+    return tuple(available_setting_names())
 
 
 def _setting(name: str) -> Setting:
-    if name == "vl":
-        return standard_settings()[0]
-    return Setting(f"SPAMeR({name})", "spamer", lambda: algorithm_by_name(name))
+    return setting_by_name(name)
 
 
 def _grid(args):
@@ -107,8 +112,18 @@ def cmd_fig11(args) -> None:
 
 
 def cmd_run(args) -> None:
+    hist = None
+    on_system = None
+    if getattr(args, "hook_stats", False):
+        from repro.eval.metrics import StageLatencyHistogram
+
+        hist = StageLatencyHistogram()
+
+        def on_system(system) -> None:
+            hist.attach(system.hooks)
+
     m = run_workload(args.workload, _setting(args.setting), scale=args.scale,
-                     seed=args.seed)
+                     seed=args.seed, on_system=on_system)
     rows = [
         ["execution", f"{m.exec_cycles} cycles ({m.exec_ms:.3f} ms)"],
         ["messages", m.messages_delivered],
@@ -120,6 +135,10 @@ def cmd_run(args) -> None:
     ]
     print(format_table(["metric", "value"], rows,
                        title=f"{args.workload} under {_setting(args.setting).label}"))
+    if hist is not None:
+        print()
+        print("per-stage transaction latency histograms (cycles)")
+        print(hist.render())
 
 
 def cmd_area(_args) -> None:
@@ -209,7 +228,7 @@ def cmd_batch(args) -> None:
 def cmd_list(_args) -> None:
     rows = [[n] for n in workload_names()]
     print(format_table(["benchmark"], rows, title="Table 2 workloads"))
-    rows = [[s] for s in SETTING_NAMES]
+    rows = [[s] for s in _setting_names()]
     print()
     print(format_table(["setting"], rows, title="Available settings"))
 
@@ -228,7 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
         if workload:
             p.add_argument("workload", choices=workload_names())
         if setting:
-            p.add_argument("--setting", choices=SETTING_NAMES, default="tuned")
+            p.add_argument("--setting", choices=_setting_names(), default="tuned")
         return p
 
     sub.add_parser("table1", help="Table 1").set_defaults(fn=cmd_table1)
@@ -247,8 +266,12 @@ def build_parser() -> argparse.ArgumentParser:
         fn=cmd_fig10b)
     common(sub.add_parser("fig11", help="Figure 11 sensitivity panel"),
            workload=True).set_defaults(fn=cmd_fig11)
-    common(sub.add_parser("run", help="run one workload under one setting"),
-           workload=True, setting=True).set_defaults(fn=cmd_run)
+    p = common(sub.add_parser("run", help="run one workload under one setting"),
+               workload=True, setting=True)
+    p.add_argument("--hook-stats", action="store_true",
+                   help="dump per-stage transaction latency histograms "
+                        "collected over the instrumentation hook bus")
+    p.set_defaults(fn=cmd_run)
     sub.add_parser("area", help="Section 4.5 area").set_defaults(fn=cmd_area)
     sub.add_parser("power", help="Section 4.5 power").set_defaults(fn=cmd_power)
     common(sub.add_parser("inline", help="Section 3.4 inlining")).set_defaults(

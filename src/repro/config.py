@@ -21,7 +21,7 @@ document them here so that sensitivity to the substitution can be explored
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.errors import ConfigError
 from repro.units import CACHELINE_BYTES, DEFAULT_CLOCK_HZ, GiB, KiB, MiB
@@ -141,6 +141,14 @@ class SystemConfig:
     #: master registers 32, Section 4.3).  Legacy endpoints use one line.
     lines_per_endpoint: int = 2
 
+    # ------------------------------------------------------- component defaults
+    #: Routing-device flavor :class:`~repro.system.System` builds when the
+    #: caller names none (any name in :func:`repro.registry.device_names`).
+    default_device: str = "vl"
+    #: Delay algorithm used when a speculating device is built without one;
+    #: ``None`` defers to the device registration's own default.
+    default_algorithm: Optional[str] = None
+
     def __post_init__(self) -> None:
         if self.num_cores < 1:
             raise ConfigError(f"need at least one core, got {self.num_cores}")
@@ -175,6 +183,22 @@ class SystemConfig:
                 raise ConfigError(f"{name} must be >= 0")
         if self.lines_per_endpoint < 1:
             raise ConfigError("lines_per_endpoint must be >= 1")
+        # Component defaults are validated against the registry lazily: the
+        # shipped defaults skip the check so importing this module does not
+        # drag in the device/algorithm modules (registry imports are cycle
+        # prone at config-import time).
+        if self.default_device != "vl":
+            from repro.registry import resolve_device
+
+            resolve_device(self.default_device)
+        if self.default_algorithm is not None:
+            from repro.registry import algorithm_names
+
+            if self.default_algorithm not in algorithm_names():
+                raise ConfigError(
+                    f"unknown default_algorithm {self.default_algorithm!r}; "
+                    f"registered algorithms: {algorithm_names()}"
+                )
 
     # ----------------------------------------------------------------- helpers
     def to_dict(self) -> Dict:

@@ -28,23 +28,12 @@ from typing import Dict, List, Optional
 
 from repro.config import SystemConfig
 from repro.errors import ConfigError
-from repro.eval.runner import Setting, run_workload, standard_settings
-from repro.spamer.delay import algorithm_by_name
+from repro.eval.runner import (
+    available_setting_names,
+    run_workload,
+    setting_by_name,
+)
 from repro.workloads.registry import workload_names
-
-#: Setting short-names accepted in specs.
-SETTING_FACTORIES = {
-    "vl": lambda: standard_settings()[0],
-    "0delay": lambda: standard_settings()[1],
-    "adapt": lambda: standard_settings()[2],
-    "tuned": lambda: standard_settings()[3],
-    "history": lambda: Setting(
-        "SPAMeR(history)", "spamer", lambda: algorithm_by_name("history")
-    ),
-    "perceptron": lambda: Setting(
-        "SPAMeR(perceptron)", "spamer", lambda: algorithm_by_name("perceptron")
-    ),
-}
 
 
 def _metrics_to_dict(metrics) -> Dict:
@@ -70,7 +59,9 @@ def parse_spec(spec: Dict) -> Dict:
     unknown_workloads = set(out["workloads"]) - set(workload_names())
     if unknown_workloads:
         raise ConfigError(f"unknown workloads in spec: {sorted(unknown_workloads)}")
-    unknown_settings = set(out["settings"]) - set(SETTING_FACTORIES)
+    # Settings resolve through the registry: any registered device or
+    # zero-arg algorithm short-name is accepted.
+    unknown_settings = set(out["settings"]) - set(available_setting_names())
     if unknown_settings:
         raise ConfigError(f"unknown settings in spec: {sorted(unknown_settings)}")
     if not out["seeds"]:
@@ -86,7 +77,7 @@ def run_batch(spec: Dict) -> Dict:
     """Run the grid a spec describes; returns the JSON-serializable report."""
     norm = parse_spec(spec)
     config = SystemConfig().with_overrides(**norm["config"])
-    settings = {name: SETTING_FACTORIES[name]() for name in norm["settings"]}
+    settings = {name: setting_by_name(name) for name in norm["settings"]}
     baseline_name = norm["settings"][0]
 
     results: Dict[str, Dict[str, Dict[str, Dict]]] = {}

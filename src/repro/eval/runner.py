@@ -3,24 +3,23 @@
 A :class:`Setting` names one of the evaluated configurations —
 ``VL(baseline)``, ``SPAMeR(0delay)``, ``SPAMeR(adapt)``, ``SPAMeR(tuned)``
 (Figures 8–10) — or any custom device/algorithm combination (the Figure 11
-parameter sweep builds tuned settings on the fly).
+parameter sweep builds tuned settings on the fly).  Settings resolve their
+device and algorithm through :mod:`repro.registry`, so any component
+registered with :func:`~repro.registry.register_device` /
+:func:`~repro.registry.register_algorithm` is immediately runnable here,
+in the batch runner and from the CLI.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Union
 
 from repro.config import SystemConfig
 from repro.eval.metrics import RunMetrics
 from repro.errors import SimulationError
-from repro.spamer.delay import (
-    AdaptiveDelay,
-    DelayAlgorithm,
-    TunedDelay,
-    TunedParams,
-    ZeroDelay,
-)
+from repro.registry import algorithm_names, device_names, resolve_device
+from repro.spamer.delay import DelayAlgorithm, TunedDelay, TunedParams
 from repro.system import System
 from repro.workloads.base import Workload
 from repro.workloads.registry import make_workload
@@ -32,11 +31,17 @@ DEFAULT_CYCLE_LIMIT = 2_000_000_000
 
 @dataclass(frozen=True)
 class Setting:
-    """One evaluated device/algorithm configuration."""
+    """One evaluated device/algorithm configuration.
+
+    ``device`` is any registered device name; ``algorithm`` may be a
+    registered algorithm name, a zero-arg factory (for parameterized
+    algorithms, e.g. the Figure 11 sweep), or None for devices that do not
+    speculate / to use the device's registered default.
+    """
 
     label: str
-    device: str                                   # 'vl' | 'spamer'
-    algorithm: Optional[Callable[[], DelayAlgorithm]] = None
+    device: str
+    algorithm: Union[str, Callable[[], DelayAlgorithm], None] = None
 
     def build_system(
         self,
@@ -44,7 +49,7 @@ class Setting:
         seed: int = 0xC0FFEE,
         trace: bool = False,
     ) -> System:
-        algo = self.algorithm() if self.algorithm is not None else None
+        algo = self.algorithm() if callable(self.algorithm) else self.algorithm
         return System(
             config=config, device=self.device, algorithm=algo, seed=seed, trace=trace
         )
@@ -54,10 +59,63 @@ def standard_settings() -> List[Setting]:
     """The four configurations of Figures 8–10, in plot order."""
     return [
         Setting("VL(baseline)", "vl"),
-        Setting("SPAMeR(0delay)", "spamer", ZeroDelay),
-        Setting("SPAMeR(adapt)", "spamer", AdaptiveDelay),
-        Setting("SPAMeR(tuned)", "spamer", TunedDelay),
+        Setting("SPAMeR(0delay)", "spamer", "0delay"),
+        Setting("SPAMeR(adapt)", "spamer", "adapt"),
+        Setting("SPAMeR(tuned)", "spamer", "tuned"),
     ]
+
+
+def setting_names() -> List[Setting]:
+    """Every zero-configuration setting the registry can offer.
+
+    One setting per registered device; speculating devices additionally get
+    one per registered zero-arg algorithm.  This is the list the CLI and
+    the batch runner expose — registering a new device or algorithm extends
+    it with no edits here.
+    """
+    settings: List[Setting] = []
+    for device in device_names():
+        spec = resolve_device(device)
+        if not spec.accepts_algorithm:
+            settings.append(Setting(_device_label(device), device))
+            continue
+        for algo in algorithm_names(include_parameterized=False):
+            settings.append(Setting(f"SPAMeR({algo})", device, algo))
+    return settings
+
+
+def _device_label(device: str) -> str:
+    return "VL(baseline)" if device == "vl" else f"{device}(baseline)"
+
+
+def setting_by_name(name: str) -> Setting:
+    """Resolve a CLI/batch short-name to a :class:`Setting`.
+
+    A short-name is either a registered non-speculating device name
+    (``vl``) or a registered zero-arg algorithm name (``tuned``), which
+    implies the ``spamer`` device — matching the four evaluated settings'
+    naming.  Unknown names raise listing what is available.
+    """
+    from repro.errors import ConfigError
+
+    for setting in setting_names():
+        if setting.device == name and setting.algorithm is None:
+            return setting
+        if setting.algorithm == name and setting.device == "spamer":
+            return setting
+    raise ConfigError(
+        f"unknown setting {name!r}; available settings: {available_setting_names()}"
+    )
+
+
+def available_setting_names() -> List[str]:
+    """The short-names :func:`setting_by_name` accepts, in stable order."""
+    names: List[str] = []
+    for setting in setting_names():
+        short = setting.device if setting.algorithm is None else setting.algorithm
+        if isinstance(short, str) and short not in names:
+            names.append(short)
+    return names
 
 
 def tuned_setting(params: TunedParams) -> Setting:
@@ -109,10 +167,19 @@ def run_workload(
     trace: bool = False,
     limit: int = DEFAULT_CYCLE_LIMIT,
     validate: bool = True,
+    on_system: Optional[Callable[[System], None]] = None,
 ) -> RunMetrics:
-    """Run one (workload, setting) pair end to end and return its metrics."""
+    """Run one (workload, setting) pair end to end and return its metrics.
+
+    *on_system* is called with the freshly built :class:`System` before the
+    run starts — the hook point for attaching instrumentation (e.g. the
+    CLI's ``--hook-stats`` stage-latency histograms) without threading
+    subscriber objects through every caller.
+    """
     workload = make_workload(workload_name, scale=scale)
     system = setting.build_system(config=config, seed=seed, trace=trace)
+    if on_system is not None:
+        on_system(system)
     workload.build(system)
     try:
         system.run_to_completion(limit=limit)

@@ -15,7 +15,7 @@ reports in Figure 10b.
 from __future__ import annotations
 
 from enum import Enum
-from typing import TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING
 
 from repro.sim.event import Event
 from repro.sim.resources import FifoServer
@@ -23,7 +23,9 @@ from repro.sim.stats import Counter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.config import SystemConfig
+    from repro.sim.hooks import HookBus
     from repro.sim.kernel import Environment
+    from repro.sim.transaction import TransactionRecord
 
 
 class PacketKind(Enum):
@@ -46,9 +48,17 @@ class CoherenceNetwork:
     which counts request/data packets only.
     """
 
-    def __init__(self, env: "Environment", config: "SystemConfig") -> None:
+    def __init__(
+        self,
+        env: "Environment",
+        config: "SystemConfig",
+        hooks: Optional["HookBus"] = None,
+    ) -> None:
         self.env = env
         self.config = config
+        #: Instrumentation bus; occupancy events are published per accepted
+        #: packet when somebody subscribed to ``BusHook`` (None = silent).
+        self.hooks = hooks
         #: One FifoServer per parallel channel.  A single channel is the
         #: shared-bus model; several channels approximate a crossbar/NoC
         #: with independent links (packets take the earliest-free channel).
@@ -60,12 +70,31 @@ class CoherenceNetwork:
         self.latency = config.bus_latency
         self.counters = Counter()
 
-    def transit(self, kind: PacketKind) -> Event:
-        """Send one packet; event fires at delivery."""
+    def transit(
+        self, kind: PacketKind, txn: Optional["TransactionRecord"] = None
+    ) -> Event:
+        """Send one packet; event fires at delivery.
+
+        *txn* threads the packet's transaction record through the network
+        layer so instrumentation can attribute occupancy to lifecycles; the
+        network itself only forwards it to :class:`BusHook` subscribers.
+        """
         self.counters.add(kind.value)
         self.counters.add("total_packets")
         channel = min(self.channels, key=lambda s: max(s._free_at, self.env.now))
-        return channel.serve(extra_delay=self.latency)
+        delivered = channel.serve(extra_delay=self.latency)
+        if self.hooks is not None:
+            from repro.sim.hooks import BusHook
+
+            if self.hooks.wants(BusHook):
+                self.hooks.publish(
+                    BusHook(
+                        tick=self.env.now,
+                        kind=kind.value,
+                        busy_cycles=self.busy_cycles,
+                    )
+                )
+        return delivered
 
     def response(self) -> Event:
         """Send a hit/miss response signal (latency only, no occupancy)."""

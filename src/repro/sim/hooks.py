@@ -1,0 +1,159 @@
+"""The instrumentation hook bus.
+
+Simulation components publish *typed events* — transaction state changes,
+the five Figure-7 trace moments, specBuf hit/miss outcomes, network
+occupancy — onto a :class:`HookBus`; observers subscribe per event type
+instead of being hard-wired into the hot path.  The
+:class:`~repro.sim.trace.TraceRecorder` and the per-stage latency
+histograms of :mod:`repro.eval.metrics` are both plain subscribers.
+
+Design constraints:
+
+* **Zero-cost when silent** — publishers guard with :meth:`HookBus.wants`
+  so no event object is even constructed unless somebody listens.
+* **Deterministic delivery** — subscribers fire synchronously, in
+  subscription order, walking the event type's MRO (subscribe to
+  :class:`HookEvent` to observe everything).
+* **Isolation** — an exception in one subscriber is captured onto
+  :attr:`HookBus.errors` and never prevents delivery to the others.
+* **No timing impact** — publishing schedules no simulation events, so
+  attaching instrumentation never changes a run's tick sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from repro.sim.trace import EventKind
+from repro.sim.transaction import TransactionRecord, TxnState
+
+
+# --------------------------------------------------------------------- events
+@dataclass(frozen=True)
+class HookEvent:
+    """Base class for every bus event; subscribe to it to observe all."""
+
+    tick: int
+
+
+@dataclass(frozen=True)
+class TraceHook(HookEvent):
+    """One of the five Figure-7 trace moments (see :class:`EventKind`).
+
+    ``tick`` may lie in the past: a request arrival is only attributable to
+    a transaction once its data shows up, and is then published with its
+    original timestamp (the trace's ``record_at`` semantics).
+    """
+
+    kind: EventKind = EventKind.DATA_ARRIVE
+    transaction_id: int = 0
+    sqi: int = 0
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class TransactionHook(HookEvent):
+    """A transaction entered a new lifecycle state."""
+
+    record: Optional[TransactionRecord] = None
+    state: TxnState = TxnState.CREATED
+    sqi: int = 0
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class SpecBufHook(HookEvent):
+    """A speculative push response reached the specBuf (hit or miss)."""
+
+    sqi: int = 0
+    entry_index: int = 0
+    hit: bool = False
+
+
+@dataclass(frozen=True)
+class BusHook(HookEvent):
+    """A packet was accepted onto the coherence network."""
+
+    kind: str = ""            # PacketKind.value
+    busy_cycles: int = 0      # cumulative network busy cycles so far
+
+
+# ----------------------------------------------------------------------- bus
+@dataclass(frozen=True)
+class Subscription:
+    """Handle returned by :meth:`HookBus.subscribe`; pass to unsubscribe."""
+
+    event_type: Type[HookEvent]
+    token: int
+    callback: Callable[[Any], None] = field(compare=False)
+
+
+class HookBus:
+    """Synchronous publish/subscribe fan-out for instrumentation events."""
+
+    def __init__(self) -> None:
+        self._subs: Dict[Type[HookEvent], List[Subscription]] = {}
+        self._next_token = 0
+        #: (subscription, exception) pairs captured during publishes; a
+        #: failing subscriber never blocks delivery to the others.
+        self.errors: List[Tuple[Subscription, Exception]] = []
+
+    # ------------------------------------------------------------ subscribing
+    def subscribe(
+        self, event_type: Type[HookEvent], callback: Callable[[Any], None]
+    ) -> Subscription:
+        """Register *callback* for events of *event_type* (or subclasses
+        published with that type in their MRO).  Delivery order is
+        subscription order."""
+        sub = Subscription(event_type, self._next_token, callback)
+        self._next_token += 1
+        self._subs.setdefault(event_type, []).append(sub)
+        return sub
+
+    def unsubscribe(self, subscription: Subscription) -> bool:
+        """Remove a subscription; returns False when already gone."""
+        subs = self._subs.get(subscription.event_type)
+        if not subs or subscription not in subs:
+            return False
+        subs.remove(subscription)
+        if not subs:
+            del self._subs[subscription.event_type]
+        return True
+
+    # ------------------------------------------------------------- publishing
+    def wants(self, event_type: Type[HookEvent]) -> bool:
+        """True when at least one subscriber would receive *event_type*.
+
+        Publishers use this to skip constructing event objects on silent
+        buses, keeping the un-instrumented hot path free.
+        """
+        if not self._subs:
+            return False
+        return any(t in self._subs for t in event_type.__mro__)
+
+    def publish(self, event: HookEvent) -> None:
+        """Deliver *event* to every subscriber of its type and supertypes.
+
+        MRO order first (exact type before catch-alls), subscription order
+        within a type.  Exceptions are recorded, not raised.
+        """
+        if not self._subs:
+            return
+        for event_type in type(event).__mro__:
+            subs = self._subs.get(event_type)
+            if not subs:
+                continue
+            for sub in list(subs):
+                try:
+                    sub.callback(event)
+                except Exception as exc:  # noqa: BLE001 - isolation by design
+                    self.errors.append((sub, exc))
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def subscriber_count(self) -> int:
+        return sum(len(subs) for subs in self._subs.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._subs)

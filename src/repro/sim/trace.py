@@ -106,6 +106,32 @@ class TraceRecorder:
         self.enabled = enabled
         self.events: List[TraceEvent] = []
         self._next_id = 0
+        self._attached: List[object] = []
+
+    def attach(self, bus) -> None:
+        """Subscribe this recorder to a :class:`~repro.sim.hooks.HookBus`.
+
+        The recorder observes :class:`~repro.sim.hooks.TraceHook` events
+        instead of being called directly from device hot paths.  Disabled
+        recorders do not subscribe at all, so publishers skip constructing
+        events entirely (``bus.wants(TraceHook)`` stays False).  Attaching
+        the same bus twice is a no-op — a system's devices share one bus
+        and one recorder.
+        """
+        if not self.enabled or any(b is bus for b in self._attached):
+            return
+        from repro.sim.hooks import TraceHook
+
+        self._attached.append(bus)
+        bus.subscribe(TraceHook, self._on_trace_hook)
+
+    def _on_trace_hook(self, event) -> None:
+        self.events.append(
+            TraceEvent(
+                event.tick, event.kind, event.transaction_id, event.sqi,
+                event.detail,
+            )
+        )
 
     def new_transaction(self) -> int:
         """Allocate a fresh transaction id (one per delivered message)."""

@@ -1,0 +1,189 @@
+"""Explicit transaction lifecycle records.
+
+Every packet that enters the queue machinery gets a
+:class:`TransactionRecord` at its birth — ``vl_push`` for messages,
+``vl_fetch`` for consumer requests — and every layer it traverses stamps a
+:class:`TxnState` transition onto it with the current tick.  A packet's
+journey is thereby a *queryable record* instead of a set of scattered
+counters: where it waited, how many stash attempts it took, and how long
+each stage held it.
+
+Message lifecycle (the Figure 5 flow)::
+
+    CREATED ──> PUSHED ──> MAPPED ──> STASHED ──> RESPONDED ──> RETIRED
+                   │          ▲            (miss) ────┘
+                   └──> BUFFERED (no target yet; a later request or
+                                  speculation re-enters at MAPPED)
+
+Request lifecycle::
+
+    CREATED ──> ARRIVED ──> MATCHED | COALESCED | DROPPED
+
+Records are plain bookkeeping — they schedule no simulation events and
+draw no randomness, so enabling them never perturbs timing (the figures
+stay bit-identical with recording on or off).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+
+class TxnState(Enum):
+    """Lifecycle states a transaction can pass through."""
+
+    # -- message (vl_push) path -------------------------------------------------
+    CREATED = "created"        # library allocated the message (vl_push issued)
+    PUSHED = "pushed"          # push packet delivered at the routing device
+    MAPPED = "mapped"          # address-mapping pipeline found a target
+    BUFFERED = "buffered"      # parked on the SQI's buffering queue
+    STASHED = "stashed"        # stash packet sent toward a consumer line
+    RESPONDED = "responded"    # hit/miss response processed at the device
+    RETIRED = "retired"        # consumer popped the message
+
+    # -- request (vl_fetch) path ------------------------------------------------
+    ARRIVED = "arrived"        # fetch packet delivered at the routing device
+    MATCHED = "matched"        # request paired with producer data
+    COALESCED = "coalesced"    # duplicate of an already-registered request
+    DROPPED = "dropped"        # NACKed by a full consBuf
+
+
+class TxnStamp(NamedTuple):
+    """One timestamped state transition."""
+
+    state: TxnState
+    tick: int
+    detail: str
+
+
+class TransactionRecord:
+    """The queryable journey of one packet through the system."""
+
+    __slots__ = ("tid", "sqi", "kind", "stamps")
+
+    def __init__(self, tid: int, sqi: int, kind: str = "message") -> None:
+        self.tid = tid
+        self.sqi = sqi
+        self.kind = kind
+        self.stamps: List[TxnStamp] = []
+
+    # ------------------------------------------------------------------ record
+    def stamp(self, state: TxnState, tick: int, detail: str = "") -> TxnStamp:
+        """Append one state transition at *tick*."""
+        entry = TxnStamp(state, int(tick), detail)
+        self.stamps.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------- query
+    @property
+    def state(self) -> Optional[TxnState]:
+        """The most recent state (None before the first stamp)."""
+        return self.stamps[-1].state if self.stamps else None
+
+    def ticks(self, state: TxnState) -> List[int]:
+        """Every tick at which *state* was entered (retries repeat states)."""
+        return [s.tick for s in self.stamps if s.state is state]
+
+    def first(self, state: TxnState) -> Optional[int]:
+        for s in self.stamps:
+            if s.state is state:
+                return s.tick
+        return None
+
+    def last(self, state: TxnState) -> Optional[int]:
+        for s in reversed(self.stamps):
+            if s.state is state:
+                return s.tick
+        return None
+
+    @property
+    def retired(self) -> bool:
+        """True once the consumer popped the message.
+
+        Checked against *any* stamp, not just the last: the hit response
+        for the final stash rides the network back to the device and may
+        stamp RESPONDED after the consumer already popped the line.
+        """
+        return any(s.state is TxnState.RETIRED for s in self.stamps)
+
+    @property
+    def attempts(self) -> int:
+        """Stash attempts (>1 means the push missed and retried)."""
+        return sum(1 for s in self.stamps if s.state is TxnState.STASHED)
+
+    @property
+    def latency(self) -> Optional[int]:
+        """End-to-end cycles from creation to retirement (None if open)."""
+        start = self.first(TxnState.CREATED)
+        end = self.last(TxnState.RETIRED)
+        if start is None or end is None:
+            return None
+        return end - start
+
+    def stage_durations(self) -> Iterator[Tuple[str, int]]:
+        """Yield ``(stage_label, cycles)`` for each consecutive stamp pair.
+
+        Labels name the edge, e.g. ``created->pushed``; retries produce
+        repeated edges (``responded->mapped`` for a Figure 5 re-entry), so
+        aggregating these across transactions gives per-stage latency
+        histograms.
+        """
+        for prev, nxt in zip(self.stamps, self.stamps[1:]):
+            yield f"{prev.state.value}->{nxt.state.value}", nxt.tick - prev.tick
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = self.state.value if self.state else "empty"
+        return (
+            f"<TransactionRecord {self.kind}#{self.tid} sqi={self.sqi} "
+            f"state={state} stamps={len(self.stamps)}>"
+        )
+
+
+class TransactionLog:
+    """Allocates transaction records and (optionally) retains them.
+
+    Each *kind* gets its own id sequence so message ids stay the dense
+    ``0, 1, 2, …`` sequence the trace figures key on, regardless of how
+    many request records interleave with them.
+
+    With ``retain=False`` (the default) records are still created and
+    stamped — they live exactly as long as the packet that carries them —
+    but the log keeps no reference, so long runs don't accumulate memory.
+    """
+
+    def __init__(self, retain: bool = False) -> None:
+        self.retain = retain
+        self._next_id: Dict[str, int] = {}
+        self._records: Dict[str, List[TransactionRecord]] = {}
+
+    def open(self, sqi: int, kind: str = "message") -> TransactionRecord:
+        """Create a record with the next id of its *kind* sequence."""
+        tid = self._next_id.get(kind, 0)
+        self._next_id[kind] = tid + 1
+        record = TransactionRecord(tid, sqi, kind)
+        if self.retain:
+            self._records.setdefault(kind, []).append(record)
+        return record
+
+    def records(self, kind: str = "message") -> List[TransactionRecord]:
+        """Retained records of *kind*, in creation order."""
+        return list(self._records.get(kind, ()))
+
+    def count(self, kind: str = "message") -> int:
+        """How many records of *kind* were opened (retained or not)."""
+        return self._next_id.get(kind, 0)
+
+    def in_flight(self, kind: str = "message") -> List[TransactionRecord]:
+        """Retained records that have not reached a terminal state."""
+        terminal = (
+            TxnState.RETIRED,
+            TxnState.MATCHED,
+            TxnState.COALESCED,
+            TxnState.DROPPED,
+        )
+        return [
+            r
+            for r in self._records.get(kind, ())
+            if not any(s.state in terminal for s in r.stamps)
+        ]

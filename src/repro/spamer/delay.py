@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ConfigError
+from repro.registry import register_algorithm
 from repro.sim.rng import bithash
 from repro.spamer.specbuf import SpecEntry
 
@@ -54,6 +55,7 @@ class DelayAlgorithm:
         return f"<{type(self).__name__}>"
 
 
+@register_algorithm("0delay")
 class ZeroDelay(DelayAlgorithm):
     """Push immediately whenever producer data is available (Section 3.5)."""
 
@@ -69,6 +71,7 @@ class ZeroDelay(DelayAlgorithm):
             entry.last = now
 
 
+@register_algorithm("adapt")
 class AdaptiveDelay(DelayAlgorithm):
     """Halve the delay on success, double it on failure (Section 3.5)."""
 
@@ -121,6 +124,7 @@ class TunedParams:
         )
 
 
+@register_algorithm("tuned")
 class TunedDelay(DelayAlgorithm):
     """The paper's tuned delay prediction (Listing 1)."""
 
@@ -177,6 +181,7 @@ class TunedDelay(DelayAlgorithm):
         entry.failed = not hit
 
 
+@register_algorithm("fixed", requires_params=True)
 class FixedDelay(DelayAlgorithm):
     """Ablation control: always wait a constant number of cycles."""
 
@@ -197,6 +202,7 @@ class FixedDelay(DelayAlgorithm):
             entry.last = now
 
 
+@register_algorithm("never", offer_as_setting=False)
 class NeverPush(DelayAlgorithm):
     """Ablation control: speculation disabled (degenerates to VL behaviour
     for endpoints that still issue requests)."""
@@ -211,20 +217,12 @@ class NeverPush(DelayAlgorithm):
 
 
 def algorithm_by_name(name: str, **kwargs) -> DelayAlgorithm:
-    """Factory used by the evaluation harness and the examples."""
-    # Imported lazily to avoid a module cycle (learned.py imports this
-    # module's base class).
-    from repro.spamer.learned import HistoryDelay, PerceptronDelay
+    """Factory used by the evaluation harness and the examples.
 
-    table = {
-        "0delay": ZeroDelay,
-        "adapt": AdaptiveDelay,
-        "tuned": TunedDelay,
-        "fixed": FixedDelay,
-        "never": NeverPush,
-        "history": HistoryDelay,
-        "perceptron": PerceptronDelay,
-    }
-    if name not in table:
-        raise ConfigError(f"unknown delay algorithm {name!r}; pick from {sorted(table)}")
-    return table[name](**kwargs)
+    A thin shim over :func:`repro.registry.resolve_algorithm` — the single
+    name→constructor map every layer shares.  Unknown names raise
+    :class:`~repro.errors.ConfigError` listing the registered algorithms.
+    """
+    from repro.registry import resolve_algorithm
+
+    return resolve_algorithm(name, **kwargs)

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import ConfigError
+from repro.registry import register_algorithm
 from repro.spamer.delay import DelayAlgorithm, MAX_DELAY
 from repro.spamer.specbuf import SpecEntry
 
@@ -39,6 +40,7 @@ class _HistoryState:
     consecutive_failures: int = 0
 
 
+@register_algorithm("history")
 class HistoryDelay(DelayAlgorithm):
     """History-based prediction: EWMA of success intervals minus a margin.
 
@@ -112,6 +114,7 @@ class _PerceptronState:
     consecutive_failures: int = 0
 
 
+@register_algorithm("perceptron")
 class PerceptronDelay(DelayAlgorithm):
     """Perceptron-style prediction: gate aggressive pushes with a linear
     model over recent-behaviour features.

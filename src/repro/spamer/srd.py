@@ -9,10 +9,12 @@ permitted by the security policy), derives a speculative target
 prediction algorithm.  The packet then takes path (A) of Figure 5 — the
 speculative push queue — instead of parking on the SQI's buffering queue.
 
-Responses from speculative pushes feed the algorithm's per-endpoint latches
-(Figure 6) and rotate the entry's ``offset`` (on hits only, so a missed
-line is retried before its successors — preserving round-robin delivery
-order into each endpoint).
+Architecturally the SRD is a thin composition: it owns the specBuf, the
+security policy and the algorithm, and plugs them into the shared
+:class:`~repro.vlink.pipeline.MappingPipeline` as a
+:class:`~repro.spamer.policy.SpecBufSpeculation` stage — everything the
+speculation path does (Figure 6's latches, ``offset`` rotation on hits,
+throttling) lives in the policy, not in subclass overrides.
 """
 
 from __future__ import annotations
@@ -20,25 +22,34 @@ from __future__ import annotations
 from typing import Optional, TYPE_CHECKING
 
 from repro.config import SystemConfig
-from repro.errors import RegistrationError
 from repro.mem.bus import CoherenceNetwork
+from repro.registry import register_device
+from repro.sim.hooks import HookBus
 from repro.sim.trace import TraceRecorder
 from repro.spamer.delay import DelayAlgorithm
+from repro.spamer.policy import SpecBufSpeculation
 from repro.spamer.security import SecurityPolicy
 from repro.spamer.specbuf import SpecBuf
-from repro.vlink.linktab import LinkRow
-from repro.vlink.packets import ProdEntry
-from repro.vlink.vlrd import SpecTarget, VirtualLinkRoutingDevice
+from repro.vlink.pipeline import SpeculationPolicy
+from repro.vlink.vlrd import VirtualLinkRoutingDevice
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.kernel import Environment
     from repro.vlink.endpoint import ConsumerEndpoint
 
 
+@register_device(
+    "spamer",
+    accepts_algorithm=True,
+    default_algorithm="tuned",
+    accepts_security=True,
+    description="SPAMeR device (specBuf + delay-predicted speculative pushes)",
+)
 class SpamerRoutingDevice(VirtualLinkRoutingDevice):
     """VLRD extended with specBuf, linkTabSpec and the speculative push path."""
 
     kind = "SRD"
+    supports_speculation = True
 
     def __init__(
         self,
@@ -48,67 +59,24 @@ class SpamerRoutingDevice(VirtualLinkRoutingDevice):
         algorithm: DelayAlgorithm,
         trace: Optional[TraceRecorder] = None,
         security: Optional[SecurityPolicy] = None,
+        hooks: Optional[HookBus] = None,
     ) -> None:
-        super().__init__(env, config, network, trace=trace)
+        # The policy components must exist before the base constructor
+        # builds the pipeline (it calls _make_speculation).
         self.algorithm = algorithm
         self.specbuf = SpecBuf(config.specbuf_entries)
         self.security = security or SecurityPolicy()
+        super().__init__(env, config, network, trace=trace, hooks=hooks)
 
-    # ------------------------------------------------------------- registration
-    def register_spec_target(self, endpoint: "ConsumerEndpoint") -> None:
-        """Handle ``spamer_register`` stores for *endpoint* (Section 3.3).
-
-        The library issues one register per consumer endpoint, covering all
-        its cachelines; the SRD allocates a specBuf entry, links it into the
-        SQI's ring, and seeds ``linkTab.specHead`` for the SQI.
-        """
-        if not endpoint.spec_enabled:
-            raise RegistrationError(
-                f"{endpoint!r} was opened as a legacy (non-speculative) endpoint"
-            )
-        self.security.check_registration(endpoint)
-        entry = self.specbuf.register(endpoint)
-        row = self.linktab.row(endpoint.sqi)
-        if row.spec_head is None:
-            head = self.specbuf.ring_head(endpoint.sqi)
-            assert head is not None
-            row.spec_head = head.index
-        self.stats.add("spec_registrations")
-        return None
-
-    # --------------------------------------------------------- speculation path
-    def _speculation_target(self, row: LinkRow, entry: ProdEntry) -> Optional[SpecTarget]:
-        """Stage-2 specBuf lookup: pick an entry from the SQI's ring.
-
-        Starting at ``specHead``, walk the ring for the first entry that is
-        not throttled (``on_fly``) and whose endpoint is allowed to receive
-        speculative pushes.  On a selection, ``specHead`` advances past the
-        chosen entry (the Stage-3 writeback), so entries are used in turn.
-        """
-        if row.spec_head is None:
-            return None
-        start = self.specbuf.entry(row.spec_head)
-        cursor = start
-        while True:
-            if not cursor.on_fly and self.security.speculation_allowed(cursor.endpoint):
-                tick = self.algorithm.send_tick(cursor, self.env.now)
-                if tick is not None:
-                    cursor.on_fly = True
-                    row.spec_head = cursor.next_index
-                    return SpecTarget(cursor.target_line, cursor.index, max(tick, self.env.now))
-            cursor = self.specbuf.entry(cursor.next_index)
-            if cursor is start:
-                return None
-
-    def _on_spec_response(self, entry: ProdEntry, hit: bool) -> None:
-        """Feed the hit/miss response into the entry's latches (Figure 6)."""
-        assert entry.spec_entry_index is not None
-        spec_entry = self.specbuf.entry(entry.spec_entry_index)
-        spec_entry.on_fly = False
-        self.algorithm.on_response(spec_entry, hit, self.env.now)
-        if hit:
-            spec_entry.advance_offset()
-            entry.spec_entry_index = None
+    def _make_speculation(self) -> SpeculationPolicy:
+        return SpecBufSpeculation(
+            self.specbuf,
+            self.algorithm,
+            self.security,
+            self.linktab,
+            self.stats,
+            hooks=self.hooks,
+        )
 
     # ------------------------------------------------------------------ metrics
     def spec_failure_rate(self) -> float:

@@ -34,16 +34,17 @@ from typing import Callable, List, Optional, Union
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.cpu.core import Core
 from repro.cpu.thread import ThreadContext
-from repro.errors import ConfigError
 from repro.mem.address import AddressSpace
 from repro.mem.bus import CoherenceNetwork
+from repro.registry import resolve_device
+from repro.sim.hooks import HookBus
 from repro.sim.kernel import Environment
 from repro.sim.process import Process
 from repro.sim.rng import RngPool
 from repro.sim.trace import TraceRecorder
+from repro.sim.transaction import TransactionLog
 from repro.spamer.delay import DelayAlgorithm, algorithm_by_name
 from repro.spamer.security import SecurityPolicy
-from repro.spamer.srd import SpamerRoutingDevice
 from repro.vlink.library import QueueLibrary
 from repro.vlink.vlrd import VirtualLinkRoutingDevice
 
@@ -54,47 +55,43 @@ class System:
     def __init__(
         self,
         config: Optional[SystemConfig] = None,
-        device: str = "vl",
+        device: Optional[str] = None,
         algorithm: Union[str, DelayAlgorithm, None] = None,
         trace: bool = False,
         seed: int = 0xC0FFEE,
         security: Optional[SecurityPolicy] = None,
+        hooks: Optional[HookBus] = None,
     ) -> None:
         self.config = config or DEFAULT_CONFIG
         self.env = Environment()
         self.rng = RngPool(seed)
+        #: One instrumentation bus shared by every component of the system.
+        self.hooks = hooks if hooks is not None else HookBus()
         self.trace = TraceRecorder(self.env, enabled=trace)
-        self.network = CoherenceNetwork(self.env, self.config)
+        #: Transaction lifecycle allocator; records are retained for
+        #: post-run queries only on traced systems.
+        self.transactions = TransactionLog(retain=trace)
+        self.network = CoherenceNetwork(self.env, self.config, hooks=self.hooks)
         self.addr_space = AddressSpace(self.config.dram_bytes)
 
-        if device == "spamer":
-            if algorithm is None:
-                algorithm = "tuned"
-            if isinstance(algorithm, str):
-                algorithm = algorithm_by_name(algorithm)
-            self.devices: List[VirtualLinkRoutingDevice] = [
-                SpamerRoutingDevice(
-                    self.env,
-                    self.config,
-                    self.network,
-                    algorithm,
-                    trace=self.trace,
-                    security=security,
-                )
-                for _ in range(self.config.num_routers)
-            ]
-        elif device == "vl":
-            if algorithm is not None:
-                raise ConfigError("a delay algorithm only applies to device='spamer'")
-            self.devices = [
-                VirtualLinkRoutingDevice(
-                    self.env, self.config, self.network, trace=self.trace
-                )
-                for _ in range(self.config.num_routers)
-            ]
-        else:
-            raise ConfigError(f"unknown device {device!r}; pick 'vl' or 'spamer'")
-
+        device = device if device is not None else self.config.default_device
+        spec = resolve_device(device)
+        if spec.accepts_algorithm and algorithm is None:
+            algorithm = self.config.default_algorithm or spec.default_algorithm
+        if isinstance(algorithm, str):
+            algorithm = algorithm_by_name(algorithm)
+        self.devices: List[VirtualLinkRoutingDevice] = [
+            spec.build(
+                self.env,
+                self.config,
+                self.network,
+                algorithm=algorithm,
+                trace=self.trace,
+                hooks=self.hooks,
+                security=security,
+            )
+            for _ in range(self.config.num_routers)
+        ]
         self.device_name = device
         self.cores: List[Core] = [
             Core(self.env, i, self.config) for i in range(self.config.num_cores)
@@ -119,7 +116,9 @@ class System:
 
     @property
     def supports_speculation(self) -> bool:
-        return isinstance(self.device, SpamerRoutingDevice)
+        """Whether consumer endpoints may register for speculative pushes
+        (a class attribute of the registered device flavor)."""
+        return bool(self.device.supports_speculation)
 
     @property
     def spec_default(self) -> bool:

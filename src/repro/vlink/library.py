@@ -29,7 +29,9 @@ from typing import Any, Generator, Optional, TYPE_CHECKING
 from repro.errors import RegistrationError, WorkloadError
 from repro.mem.bus import PacketKind
 from repro.mem.cacheline import LineState
+from repro.sim.hooks import TraceHook, TransactionHook
 from repro.sim.trace import EventKind
+from repro.sim.transaction import TransactionRecord, TxnState
 from repro.vlink.endpoint import ConsumerEndpoint, ProducerEndpoint
 from repro.vlink.packets import ConsRequest, Message
 
@@ -131,6 +133,23 @@ class QueueLibrary:
                 f"core {core_id} out of range (system has {self.config.num_cores})"
             )
 
+    def _stamp(
+        self, txn: TransactionRecord, state: TxnState, detail: str = ""
+    ) -> None:
+        """Stamp a lifecycle transition and publish it on the hook bus."""
+        txn.stamp(state, self.env.now, detail)
+        hooks = self.system.hooks
+        if hooks.wants(TransactionHook):
+            hooks.publish(
+                TransactionHook(
+                    tick=self.env.now,
+                    record=txn,
+                    state=state,
+                    sqi=txn.sqi,
+                    detail=detail,
+                )
+            )
+
     # ------------------------------------------------------------------- push
     def push(self, producer: ProducerEndpoint, payload: Any) -> Generator:
         """Enqueue one message (``yield from`` inside a thread program)."""
@@ -144,14 +163,17 @@ class QueueLibrary:
         device = self.system.device_for(producer.sqi)
         granted, pool = device.acquire_entry(producer.sqi)
         yield granted
+        txn = self.system.transactions.open(producer.sqi)
+        self._stamp(txn, TxnState.CREATED)
         message = Message(
             payload=payload,
             sqi=producer.sqi,
             producer_id=producer.endpoint_id,
             seq=producer.take_seq(),
-            transaction_id=self.system.trace.new_transaction(),
+            transaction_id=txn.tid,
             produced_at=self.env.now,
             credit_pool=pool,
+            txn=txn,
         )
         producer.pushes += 1
         # vl_push is posted (writeback-like): the producer continues while
@@ -238,9 +260,20 @@ class QueueLibrary:
             line = consumer.current_line
 
         # ---- fast path / delivery: read, trace first use, vacate.
-        self.system.trace.record(EventKind.FIRST_USE, line.fill_txn or 0, consumer.sqi)
+        hooks = self.system.hooks
+        if hooks.wants(TraceHook):
+            hooks.publish(
+                TraceHook(
+                    tick=self.env.now,
+                    kind=EventKind.FIRST_USE,
+                    transaction_id=line.fill_txn or 0,
+                    sqi=consumer.sqi,
+                )
+            )
         yield self.env.timeout(cfg.pop_fast_path_cost)
         message = line.consume()
+        if message.txn is not None:
+            self._stamp(message.txn, TxnState.RETIRED)
         self.system.latency_stats.add(self.env.now - message.produced_at)
         consumer.advance()
         consumer.pops += 1
@@ -248,11 +281,14 @@ class QueueLibrary:
 
     def _send_request(self, consumer: ConsumerEndpoint, prerequest: bool) -> None:
         """Fire a vl_fetch packet at the device (posted, non-blocking)."""
+        txn = self.system.transactions.open(consumer.sqi, kind="request")
+        self._stamp(txn, TxnState.CREATED, "prerequest" if prerequest else "")
         request = ConsRequest(
             sqi=consumer.sqi,
             line=consumer.current_line,
             issued_at=self.env.now,
             prerequest=prerequest,
+            txn=txn,
         )
         self.system.network.transit(PacketKind.REQUEST).subscribe(
             lambda _ev, r=request: self.system.device_for(consumer.sqi).accept_request(r)

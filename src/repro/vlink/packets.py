@@ -16,6 +16,7 @@ from typing import Any, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mem.cacheline import ConsumerLine
+    from repro.sim.transaction import TransactionRecord
 
 
 @dataclass
@@ -32,6 +33,9 @@ class Message:
     #: ("shared" or "reserved"); None when the message was injected at
     #: device level without admission (unit tests, diagnostics).
     credit_pool: Optional[str] = None
+    #: Lifecycle record stamped at every transition (None when the message
+    #: was injected below the library layer).
+    txn: Optional["TransactionRecord"] = None
 
 
 @dataclass
@@ -59,3 +63,5 @@ class ConsRequest:
     issued_at: int           # cycle the consumer executed vl_fetch
     arrived_at: int = 0      # cycle the request reached the device
     prerequest: bool = False  # re-issued while polling (Section 4.2)
+    #: Lifecycle record (kind="request") stamped at every transition.
+    txn: Optional["TransactionRecord"] = None

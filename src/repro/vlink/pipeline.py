@@ -1,0 +1,271 @@
+"""The three-stage address-mapping pipeline (Section 3.1, Figures 4–5).
+
+:class:`MappingPipeline` is the heart of every routing device: it pairs
+producer packets with consumer targets on the same SQI.  Stage 1 reads the
+SQI's linkTab row, Stage 2 looks for a target — a pending consumer request
+first, else a speculation candidate from the pluggable
+:class:`SpeculationPolicy` — and Stage 3 either hands the packet to the
+device's dispatch path (the stash send) or parks it on the SQI's buffering
+queue.
+
+The speculation path is a *policy stage*, not a subclass override: the
+baseline device runs :class:`NullSpeculation` (never speculates, rejects
+``spamer_register``), while the SPAMeR device plugs in
+:class:`repro.spamer.policy.SpecBufSpeculation`.  New devices compose a
+pipeline with their own policy instead of monkeying with the device class.
+
+The pipeline stamps every packet's :class:`~repro.sim.transaction.
+TransactionRecord` (MAPPED / BUFFERED / MATCHED / COALESCED) and publishes
+trace moments onto the hook bus; it schedules only the stage-latency
+timeouts the monolithic device used to, so refactored runs are
+bit-identical to the pre-pipeline ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.errors import RegistrationError
+from repro.mem.cacheline import ConsumerLine
+from repro.sim.hooks import HookBus, TraceHook, TransactionHook
+from repro.sim.trace import EventKind
+from repro.sim.transaction import TransactionRecord, TxnState
+from repro.vlink.linktab import LinkRow, LinkTab
+from repro.vlink.packets import ConsRequest, ProdEntry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config import SystemConfig
+    from repro.sim.kernel import Environment
+    from repro.sim.stats import Counter
+    from repro.vlink.endpoint import ConsumerEndpoint
+
+
+class SpecTarget:
+    """A speculation decision: where and when to push."""
+
+    __slots__ = ("line", "entry_index", "send_tick")
+
+    def __init__(self, line: ConsumerLine, entry_index: int, send_tick: int) -> None:
+        self.line = line
+        self.entry_index = entry_index
+        self.send_tick = send_tick
+
+
+class SpeculationPolicy:
+    """Pluggable Stage-2 speculation stage of the mapping pipeline.
+
+    Implementations decide *whether/where/when* to push without a consumer
+    request (:meth:`select`), learn from the hit/miss responses of their
+    decisions (:meth:`on_response`), and manage target registration
+    (:meth:`register`).
+    """
+
+    def select(
+        self, row: LinkRow, entry: ProdEntry, now: int
+    ) -> Optional[SpecTarget]:
+        """Pick a speculative target for *entry*, or None to buffer it."""
+        raise NotImplementedError
+
+    def on_response(self, entry: ProdEntry, hit: bool, now: int) -> None:
+        """Feed a speculative push's hit/miss response back into the policy."""
+        raise NotImplementedError
+
+    def register(self, endpoint: "ConsumerEndpoint") -> None:
+        """Handle a ``spamer_register`` store for *endpoint*."""
+        raise NotImplementedError
+
+
+class NullSpeculation(SpeculationPolicy):
+    """The baseline policy: never speculate, reject registrations."""
+
+    def select(
+        self, row: LinkRow, entry: ProdEntry, now: int
+    ) -> Optional[SpecTarget]:
+        return None
+
+    def on_response(self, entry: ProdEntry, hit: bool, now: int) -> None:
+        raise RegistrationError("VLRD received a speculative push response")
+
+    def register(self, endpoint: "ConsumerEndpoint") -> None:
+        raise RegistrationError(
+            "spamer_register executed against a baseline VLRD; build the "
+            "system with SpamerRoutingDevice to use speculative pushes"
+        )
+
+
+class MappingPipeline:
+    """The shared 3-stage mapping machinery, policy-parameterized."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        config: "SystemConfig",
+        linktab: LinkTab,
+        stats: "Counter",
+        speculation: SpeculationPolicy,
+        dispatch: Callable[[ProdEntry, ConsumerLine, bool], None],
+        hooks: Optional[HookBus] = None,
+        stage_latency: Optional[int] = None,
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.linktab = linktab
+        self.stats = stats
+        self.speculation = speculation
+        #: Stage-3 exit: the owning device's stash-send path.
+        self._dispatch = dispatch
+        self.hooks = hooks if hooks is not None else HookBus()
+        self.stage_latency = (
+            config.srd_pipeline_latency if stage_latency is None else stage_latency
+        )
+        self._consbuf_occupancy = 0
+
+    # ------------------------------------------------------------------ helpers
+    def _after(self, delay: int, fn: Callable[[], None]) -> None:
+        """Run *fn* after *delay* cycles (pipeline-internal sequencing)."""
+        self.env.timeout(delay).subscribe(lambda _ev: fn())
+
+    def stamp(
+        self,
+        record: Optional[TransactionRecord],
+        state: TxnState,
+        sqi: int,
+        detail: str = "",
+    ) -> None:
+        """Stamp *record* (if any) and publish the state change on the bus."""
+        now = self.env.now
+        if record is not None:
+            record.stamp(state, now, detail)
+        if self.hooks.wants(TransactionHook):
+            self.hooks.publish(
+                TransactionHook(
+                    tick=now, record=record, state=state, sqi=sqi, detail=detail
+                )
+            )
+
+    def trace(
+        self, kind: EventKind, time: int, transaction_id: int, sqi: int,
+        detail: str = "",
+    ) -> None:
+        """Publish one Figure-7 trace moment (possibly back-timestamped)."""
+        if self.hooks.wants(TraceHook):
+            self.hooks.publish(
+                TraceHook(
+                    tick=int(time),
+                    kind=kind,
+                    transaction_id=transaction_id,
+                    sqi=sqi,
+                    detail=detail,
+                )
+            )
+
+    @property
+    def consbuf_occupancy(self) -> int:
+        return self._consbuf_occupancy
+
+    # ------------------------------------------------------------ producer side
+    def ingress(self, entry: ProdEntry) -> None:
+        """A push packet enters the pipeline (one stage-latency traversal)."""
+        self._after(self.stage_latency, lambda: self._map(entry))
+
+    def requeue(self, entry: ProdEntry) -> None:
+        """Figure 5: a missed packet re-enters the mapping pipeline."""
+        self._after(self.stage_latency, lambda: self._map(entry))
+
+    def _map(self, entry: ProdEntry) -> None:
+        """Address-mapping pipeline outcome for one prodBuf entry."""
+        row = self.linktab.row(entry.sqi)
+        if row.buffered_data:
+            # Keep per-SQI FIFO: fresh arrivals queue behind parked packets.
+            row.buffered_data.append(entry)
+            self.stamp(entry.message.txn, TxnState.BUFFERED, entry.sqi, "backlog")
+            self.kick(row)
+            return
+        self._map_front(row, entry)
+
+    def _map_front(self, row: LinkRow, entry: ProdEntry) -> None:
+        """Map *entry* (known to be the oldest packet of its SQI)."""
+        request = self.pop_request(row)
+        if request is not None:
+            self._matched(request, entry)
+            self._dispatch(entry, request.line, False)
+            return
+        spec = self.speculation.select(row, entry, self.env.now)
+        if spec is not None:
+            self._speculated(entry, spec)
+            return
+        row.buffered_data.append(entry)
+        self.stats.add("buffered")
+        self.stamp(entry.message.txn, TxnState.BUFFERED, entry.sqi)
+
+    def _matched(self, request: ConsRequest, entry: ProdEntry) -> None:
+        """Bookkeeping for an on-demand pairing (Stage-3 consTgt mux)."""
+        self.trace(
+            EventKind.REQUEST_ARRIVE,
+            request.arrived_at,
+            entry.message.transaction_id,
+            entry.sqi,
+        )
+        self.stamp(entry.message.txn, TxnState.MAPPED, entry.sqi, "on-demand")
+        self.stamp(request.txn, TxnState.MATCHED, request.sqi)
+
+    def _speculated(self, entry: ProdEntry, spec: SpecTarget) -> None:
+        """Stage-3 specTgt path: schedule the delayed speculative dispatch."""
+        entry.spec_entry_index = spec.entry_index
+        delay = max(0, spec.send_tick - self.env.now)
+        self.stats.add("spec_selected")
+        self.stamp(entry.message.txn, TxnState.MAPPED, entry.sqi, "speculative")
+        self._after(delay, lambda: self._dispatch(entry, spec.line, True))
+
+    # ------------------------------------------------------------ consumer side
+    def admit_request(self, request: ConsRequest) -> bool:
+        """consBuf admission; False = NACK (the consumer re-issues later)."""
+        if self._consbuf_occupancy >= self.config.consbuf_entries:
+            return False
+        self._consbuf_occupancy += 1
+        self._after(self.stage_latency, lambda: self._on_request(request))
+        return True
+
+    def _on_request(self, request: ConsRequest) -> None:
+        row = self.linktab.row(request.sqi)
+        if not row.buffered_data and any(
+            pending.line is request.line for pending in row.pending_requests
+        ):
+            # Coalesce: a request for this cacheline is already registered
+            # (an MSHR-style CAM match).  Re-issued fetches from the polling
+            # loop would otherwise accumulate and exhaust consBuf.
+            self._consbuf_occupancy -= 1
+            self.stats.add("requests_coalesced")
+            self.stamp(request.txn, TxnState.COALESCED, request.sqi)
+            return
+        if row.buffered_data:
+            entry = row.buffered_data.popleft()
+            self._consbuf_occupancy -= 1
+            self._matched(request, entry)
+            self._dispatch(entry, request.line, False)
+        else:
+            row.pending_requests.append(request)
+
+    def pop_request(self, row: LinkRow) -> Optional[ConsRequest]:
+        if row.pending_requests:
+            self._consbuf_occupancy -= 1
+            return row.pending_requests.popleft()
+        return None
+
+    # ------------------------------------------------------------------- drain
+    def kick(self, row: LinkRow) -> None:
+        """Drain the SQI's buffering queue while targets are available."""
+        while row.buffered_data:
+            if row.pending_requests:
+                entry = row.buffered_data.popleft()
+                request = self.pop_request(row)
+                assert request is not None
+                self._matched(request, entry)
+                self._dispatch(entry, request.line, False)
+                continue
+            spec = self.speculation.select(row, row.buffered_data[0], self.env.now)
+            if spec is not None:
+                entry = row.buffered_data.popleft()
+                self._speculated(entry, spec)
+                continue
+            break

@@ -7,19 +7,23 @@ moves cachelines from producer endpoints to consumer endpoints:
    transfers to the device; the producer's line stays writable).
 2. ``vl_fetch`` registers a consumer cacheline address in a **consBuf**
    entry.
-3. The three-stage *address mapping* pipeline pairs the two on the same SQI:
-   a matched packet enters the sending queue and is stashed into the
-   consumer cacheline; an unmatched packet is parked on the SQI's buffering
-   queue in **linkTab**.
+3. The three-stage *address mapping* pipeline — a first-class
+   :class:`~repro.vlink.pipeline.MappingPipeline` — pairs the two on the
+   same SQI: a matched packet enters the sending queue and is stashed into
+   the consumer cacheline; an unmatched packet is parked on the SQI's
+   buffering queue in **linkTab**.
 4. The target cache controller answers each stash with a hit/miss response:
    a hit frees the prodBuf entry; a miss re-enters the packet into the
    mapping pipeline (Figure 5, path B/C).
 
-This class implements the full on-demand path and exposes two extension
-points the SPAMeR device (:class:`repro.spamer.srd.SpamerRoutingDevice`)
-overrides: :meth:`_speculation_target` (consult specBuf when no request is
-pending) and :meth:`_on_spec_response` (feed the delay-prediction
-algorithm).
+The device composes rather than hard-codes its behaviour: the speculation
+stage is a pluggable :class:`~repro.vlink.pipeline.SpeculationPolicy`
+(:class:`~repro.vlink.pipeline.NullSpeculation` here; the SPAMeR device
+plugs in its specBuf policy), instrumentation attaches through the
+:class:`~repro.sim.hooks.HookBus`, and each packet carries a
+:class:`~repro.sim.transaction.TransactionRecord` stamped at every
+lifecycle transition.  New device flavors register with
+:func:`repro.registry.register_device` and need no edits to the core.
 """
 
 from __future__ import annotations
@@ -27,34 +31,36 @@ from __future__ import annotations
 from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.config import SystemConfig
-from repro.errors import RegistrationError
 from repro.mem.bus import CoherenceNetwork, PacketKind
 from repro.mem.cacheline import ConsumerLine
+from repro.registry import register_device
+from repro.sim.hooks import HookBus
 from repro.sim.resources import Resource
 from repro.sim.stats import Counter
 from repro.sim.trace import EventKind, TraceRecorder
-from repro.vlink.linktab import LinkRow, LinkTab
+from repro.sim.transaction import TxnState
+from repro.vlink.linktab import LinkTab
 from repro.vlink.packets import ConsRequest, Message, ProdEntry
+from repro.vlink.pipeline import (
+    MappingPipeline,
+    NullSpeculation,
+    SpecTarget,
+    SpeculationPolicy,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.kernel import Environment
 
-
-class SpecTarget:
-    """A speculation decision: where and when to push (SRD only)."""
-
-    __slots__ = ("line", "entry_index", "send_tick")
-
-    def __init__(self, line: ConsumerLine, entry_index: int, send_tick: int) -> None:
-        self.line = line
-        self.entry_index = entry_index
-        self.send_tick = send_tick
+__all__ = ["SpecTarget", "VirtualLinkRoutingDevice"]
 
 
+@register_device("vl", description="Virtual-Link baseline (on-demand only)")
 class VirtualLinkRoutingDevice:
     """Baseline on-demand routing device."""
 
     kind = "VLRD"
+    #: Whether consumer endpoints may register for speculative pushes.
+    supports_speculation = False
 
     def __init__(
         self,
@@ -62,12 +68,27 @@ class VirtualLinkRoutingDevice:
         config: SystemConfig,
         network: CoherenceNetwork,
         trace: Optional[TraceRecorder] = None,
+        hooks: Optional[HookBus] = None,
     ) -> None:
         self.env = env
         self.config = config
         self.network = network
+        self.hooks = hooks if hooks is not None else HookBus()
         self.trace = trace or TraceRecorder(env, enabled=False)
+        # Tracing is a bus subscriber, not a hard-wired call site.
+        self.trace.attach(self.hooks)
         self.linktab = LinkTab(config.linktab_entries)
+        self.stats = Counter()
+        self.pipeline = MappingPipeline(
+            env,
+            config,
+            self.linktab,
+            self.stats,
+            speculation=self._make_speculation(),
+            dispatch=self._dispatch,
+            hooks=self.hooks,
+            stage_latency=self._stage_latency(),
+        )
         #: prodBuf admission is two-tier: a small per-SQI *reserve*
         #: guarantees every queue forward progress (no head-of-line
         #: deadlock when one producer hoards entries — also the Section 3.6
@@ -78,8 +99,15 @@ class VirtualLinkRoutingDevice:
         self._reserved_credits: dict = {}
         self._shared_credits: Optional[Resource] = None
         self._reserve_per_sqi: Optional[int] = None
-        self._consbuf_occupancy = 0
-        self.stats = Counter()
+
+    # --------------------------------------------------------------- composition
+    def _make_speculation(self) -> SpeculationPolicy:
+        """The Stage-2 policy this device flavor plugs into its pipeline."""
+        return NullSpeculation()
+
+    def _stage_latency(self) -> int:
+        """Mapping-pipeline traversal latency (overridable per flavor)."""
+        return self.config.srd_pipeline_latency
 
     # ----------------------------------------------------- admission control
     def finalize_capacity(self, num_sqis: Optional[int] = None) -> None:
@@ -144,93 +172,34 @@ class VirtualLinkRoutingDevice:
         shared = self._shared_credits.in_use if self._shared_credits else 0
         return shared + sum(r.in_use for r in self._reserved_credits.values())
 
-    # ------------------------------------------------------------------ helpers
-    def _after(self, delay: int, fn: Callable[[], None]) -> None:
-        """Run *fn* after *delay* cycles (device-internal sequencing)."""
-        self.env.timeout(delay).subscribe(lambda _ev: fn())
+    @property
+    def _consbuf_occupancy(self) -> int:
+        """consBuf occupancy (owned by the mapping pipeline)."""
+        return self.pipeline.consbuf_occupancy
 
     # ----------------------------------------------------------- producer side
     def accept_push(self, message: Message) -> None:
         """A vl_push packet arrived over the network (credit already held)."""
         self.stats.add("data_arrivals")
-        self.trace.record(EventKind.DATA_ARRIVE, message.transaction_id, message.sqi)
+        self.pipeline.stamp(message.txn, TxnState.PUSHED, message.sqi)
+        self.pipeline.trace(
+            EventKind.DATA_ARRIVE, self.env.now, message.transaction_id, message.sqi
+        )
         entry = ProdEntry(message, arrived_at=self.env.now)
-        self._after(self.config.srd_pipeline_latency, lambda: self._map(entry))
-
-    def _map(self, entry: ProdEntry) -> None:
-        """Address-mapping pipeline outcome for one prodBuf entry."""
-        row = self.linktab.row(entry.sqi)
-        if row.buffered_data:
-            # Keep per-SQI FIFO: fresh arrivals queue behind parked packets.
-            row.buffered_data.append(entry)
-            self._kick(row)
-            return
-        self._map_front(row, entry)
-
-    def _map_front(self, row: LinkRow, entry: ProdEntry) -> None:
-        """Map *entry* (known to be the oldest packet of its SQI)."""
-        request = self._pop_request(row)
-        if request is not None:
-            self.trace.record_at(
-                EventKind.REQUEST_ARRIVE,
-                request.arrived_at,
-                entry.message.transaction_id,
-                entry.sqi,
-            )
-            self._dispatch(entry, request.line, speculative=False)
-            return
-        spec = self._speculation_target(row, entry)
-        if spec is not None:
-            entry.spec_entry_index = spec.entry_index
-            delay = max(0, spec.send_tick - self.env.now)
-            self.stats.add("spec_selected")
-            self._after(delay, lambda: self._dispatch(entry, spec.line, speculative=True))
-            return
-        row.buffered_data.append(entry)
-        self.stats.add("buffered")
+        self.pipeline.ingress(entry)
 
     # ----------------------------------------------------------- consumer side
     def accept_request(self, request: ConsRequest) -> None:
         """A vl_fetch packet arrived over the network."""
         request.arrived_at = self.env.now
         self.stats.add("request_arrivals")
-        if self._consbuf_occupancy >= self.config.consbuf_entries:
+        self.pipeline.stamp(request.txn, TxnState.ARRIVED, request.sqi)
+        if not self.pipeline.admit_request(request):
             # consBuf exhausted: the store is NACKed; the consumer's poll
             # loop re-issues the fetch later.
             self.stats.add("requests_dropped")
+            self.pipeline.stamp(request.txn, TxnState.DROPPED, request.sqi, "NACK")
             return
-        self._consbuf_occupancy += 1
-        self._after(self.config.srd_pipeline_latency, lambda: self._on_request(request))
-
-    def _on_request(self, request: ConsRequest) -> None:
-        row = self.linktab.row(request.sqi)
-        if not row.buffered_data and any(
-            pending.line is request.line for pending in row.pending_requests
-        ):
-            # Coalesce: a request for this cacheline is already registered
-            # (an MSHR-style CAM match).  Re-issued fetches from the polling
-            # loop would otherwise accumulate and exhaust consBuf.
-            self._consbuf_occupancy -= 1
-            self.stats.add("requests_coalesced")
-            return
-        if row.buffered_data:
-            entry = row.buffered_data.popleft()
-            self._consbuf_occupancy -= 1
-            self.trace.record_at(
-                EventKind.REQUEST_ARRIVE,
-                request.arrived_at,
-                entry.message.transaction_id,
-                entry.sqi,
-            )
-            self._dispatch(entry, request.line, speculative=False)
-        else:
-            row.pending_requests.append(request)
-
-    def _pop_request(self, row: LinkRow) -> Optional[ConsRequest]:
-        if row.pending_requests:
-            self._consbuf_occupancy -= 1
-            return row.pending_requests.popleft()
-        return None
 
     # ------------------------------------------------------------ push path
     def _dispatch(self, entry: ProdEntry, line: ConsumerLine, speculative: bool) -> None:
@@ -238,16 +207,24 @@ class VirtualLinkRoutingDevice:
         entry.attempts += 1
         self.stats.add("push_attempts")
         self.stats.add("spec_pushes" if speculative else "ondemand_pushes")
-        delivered = self.network.transit(PacketKind.STASH)
+        self.pipeline.stamp(
+            entry.message.txn,
+            TxnState.STASHED,
+            entry.sqi,
+            "speculative" if speculative else "on-demand",
+        )
+        delivered = self.network.transit(PacketKind.STASH, txn=entry.message.txn)
 
         def on_delivery(_ev) -> None:
             vacate_time = line.last_vacate_time
             hit = line.try_fill(entry.message, entry.message.transaction_id)
             if hit:
                 txn = entry.message.transaction_id
-                self.trace.record_at(EventKind.LINE_VACATE, vacate_time, txn, entry.sqi)
-                self.trace.record(
-                    EventKind.LINE_FILL, txn, entry.sqi,
+                self.pipeline.trace(
+                    EventKind.LINE_VACATE, vacate_time, txn, entry.sqi
+                )
+                self.pipeline.trace(
+                    EventKind.LINE_FILL, self.env.now, txn, entry.sqi,
                     detail="speculative" if speculative else "on-demand",
                 )
             # The hit/miss response signal rides back to the device.
@@ -262,7 +239,11 @@ class VirtualLinkRoutingDevice:
     ) -> None:
         row = self.linktab.row(entry.sqi)
         if speculative:
-            self._on_spec_response(entry, hit)
+            self.pipeline.speculation.on_response(entry, hit, self.env.now)
+        self.pipeline.stamp(
+            entry.message.txn, TxnState.RESPONDED, entry.sqi,
+            "hit" if hit else "miss",
+        )
         if hit:
             self.stats.add("push_hits")
             self.stats.add("spec_hits" if speculative else "ondemand_hits")
@@ -272,54 +253,13 @@ class VirtualLinkRoutingDevice:
             self.stats.add("spec_failures" if speculative else "ondemand_failures")
             entry.spec_entry_index = None
             # Figure 5: the prodBuf entry re-enters the mapping pipeline.
-            self._after(
-                self.config.srd_pipeline_latency,
-                lambda: self._map(entry),
-            )
-        self._kick(row)
+            self.pipeline.requeue(entry)
+        self.pipeline.kick(row)
 
-    def _kick(self, row: LinkRow) -> None:
-        """Drain the SQI's buffering queue while targets are available."""
-        while row.buffered_data:
-            if row.pending_requests:
-                entry = row.buffered_data.popleft()
-                request = self._pop_request(row)
-                assert request is not None
-                self.trace.record_at(
-                    EventKind.REQUEST_ARRIVE,
-                    request.arrived_at,
-                    entry.message.transaction_id,
-                    entry.sqi,
-                )
-                self._dispatch(entry, request.line, speculative=False)
-                continue
-            spec = self._speculation_target(row, row.buffered_data[0])
-            if spec is not None:
-                entry = row.buffered_data.popleft()
-                entry.spec_entry_index = spec.entry_index
-                delay = max(0, spec.send_tick - self.env.now)
-                self.stats.add("spec_selected")
-                self._after(
-                    delay, lambda e=entry, s=spec: self._dispatch(e, s.line, speculative=True)
-                )
-                continue
-            break
-
-    # -------------------------------------------------------- extension points
-    def _speculation_target(self, row: LinkRow, entry: ProdEntry) -> Optional[SpecTarget]:
-        """Baseline device never speculates."""
-        return None
-
-    def _on_spec_response(self, entry: ProdEntry, hit: bool) -> None:
-        """Baseline device never receives speculative responses."""
-        raise RegistrationError("VLRD received a speculative push response")
-
+    # -------------------------------------------------------- speculation API
     def register_spec_target(self, endpoint) -> None:
-        """spamer_register on the baseline device is an invalid access."""
-        raise RegistrationError(
-            "spamer_register executed against a baseline VLRD; build the "
-            "system with SpamerRoutingDevice to use speculative pushes"
-        )
+        """Handle ``spamer_register`` stores (delegates to the policy)."""
+        return self.pipeline.speculation.register(endpoint)
 
     # ------------------------------------------------------------------ metrics
     @property
