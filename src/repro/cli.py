@@ -113,17 +113,21 @@ def cmd_fig11(args) -> None:
 
 def cmd_run(args) -> None:
     hist = None
-    on_system = None
+    verify = getattr(args, "verify", False)
+    captured = {}
+
+    def on_system(system) -> None:
+        captured["system"] = system
+        if hist is not None:
+            hist.attach(system.hooks)
+
     if getattr(args, "hook_stats", False):
         from repro.eval.metrics import StageLatencyHistogram
 
         hist = StageLatencyHistogram()
 
-        def on_system(system) -> None:
-            hist.attach(system.hooks)
-
     m = run_workload(args.workload, _setting(args.setting), scale=args.scale,
-                     seed=args.seed, on_system=on_system)
+                     seed=args.seed, on_system=on_system, verify=verify)
     rows = [
         ["execution", f"{m.exec_cycles} cycles ({m.exec_ms:.3f} ms)"],
         ["messages", m.messages_delivered],
@@ -135,6 +139,13 @@ def cmd_run(args) -> None:
     ]
     print(format_table(["metric", "value"], rows,
                        title=f"{args.workload} under {_setting(args.setting).label}"))
+    if verify and captured.get("system") is not None:
+        verifier = captured["system"].verifier
+        if verifier is not None:
+            # quiesce() in the runner already raised on any violation, so
+            # reaching here means a clean bill of health.
+            print()
+            print(f"verification: PASS ({verifier.summary()})")
     if hist is not None:
         print()
         print("per-stage transaction latency histograms (cycles)")
@@ -271,6 +282,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hook-stats", action="store_true",
                    help="dump per-stage transaction latency histograms "
                         "collected over the instrumentation hook bus")
+    p.add_argument("--verify", action="store_true",
+                   help="attach the live invariant checker (FIFO order, "
+                        "message conservation, cacheline/transaction "
+                        "lifecycle legality); the run fails on any "
+                        "semantic violation")
     p.set_defaults(fn=cmd_run)
     sub.add_parser("area", help="Section 4.5 area").set_defaults(fn=cmd_area)
     sub.add_parser("power", help="Section 4.5 power").set_defaults(fn=cmd_power)

@@ -141,6 +141,18 @@ class SystemConfig:
     #: master registers 32, Section 4.3).  Legacy endpoints use one line.
     lines_per_endpoint: int = 2
 
+    # ------------------------------------------------------------- verification
+    #: Attach the live invariant checker (:mod:`repro.verify.invariants`) to
+    #: the system's hook bus.  The checker is a plain subscriber: it observes
+    #: every lifecycle/occupancy event, accumulates violations, and raises a
+    #: :class:`~repro.errors.VerificationError` at quiesce — it schedules no
+    #: events, so figures stay bit-identical with verification on or off.
+    verify: bool = False
+    #: Stall-watchdog window: abort with
+    #: :class:`~repro.errors.SimDeadlockError` when the queue machinery makes
+    #: no progress (no push, pop, or device action) for this many cycles.
+    watchdog_cycles: int = 1_000_000
+
     # ------------------------------------------------------- component defaults
     #: Routing-device flavor :class:`~repro.system.System` builds when the
     #: caller names none (any name in :func:`repro.registry.device_names`).
@@ -183,6 +195,8 @@ class SystemConfig:
                 raise ConfigError(f"{name} must be >= 0")
         if self.lines_per_endpoint < 1:
             raise ConfigError("lines_per_endpoint must be >= 1")
+        if self.watchdog_cycles < 1:
+            raise ConfigError("watchdog_cycles must be >= 1")
         # Component defaults are validated against the registry lazily: the
         # shipped defaults skip the check so importing this module does not
         # drag in the device/algorithm modules (registry imports are cycle

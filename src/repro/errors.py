@@ -20,6 +20,34 @@ class SchedulingError(SimulationError):
     """Raised when an event is scheduled into the past or double-triggered."""
 
 
+class SimDeadlockError(SimulationError):
+    """Raised by the stall watchdog: no queue progress for a full window.
+
+    Carries enough diagnostics to name the stalled parties: ``tick`` is the
+    cycle the watchdog fired at and ``blocked`` the names of the thread
+    programs that had not finished (the blocked consumers/producers).  The
+    message itself is the full diagnostic dump.
+    """
+
+    def __init__(self, message: str, tick: int = 0, blocked: tuple = ()) -> None:
+        super().__init__(message)
+        self.tick = int(tick)
+        self.blocked = tuple(blocked)
+
+
+class VerificationError(ReproError):
+    """Raised when the correctness subsystem finds a semantic violation.
+
+    ``violations`` holds the structured
+    :class:`~repro.verify.invariants.InvariantViolation` entries (or oracle
+    mismatch strings) that triggered the failure.
+    """
+
+    def __init__(self, message: str, violations: tuple = ()) -> None:
+        super().__init__(message)
+        self.violations = tuple(violations)
+
+
 class ConfigError(ReproError):
     """Raised for inconsistent or out-of-range system configuration values."""
 

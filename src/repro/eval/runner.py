@@ -17,7 +17,7 @@ from typing import Callable, List, Optional, Union
 
 from repro.config import SystemConfig
 from repro.eval.metrics import RunMetrics
-from repro.errors import SimulationError
+from repro.errors import SimDeadlockError, SimulationError
 from repro.registry import algorithm_names, device_names, resolve_device
 from repro.spamer.delay import DelayAlgorithm, TunedDelay, TunedParams
 from repro.system import System
@@ -168,6 +168,7 @@ def run_workload(
     limit: int = DEFAULT_CYCLE_LIMIT,
     validate: bool = True,
     on_system: Optional[Callable[[System], None]] = None,
+    verify: bool = False,
 ) -> RunMetrics:
     """Run one (workload, setting) pair end to end and return its metrics.
 
@@ -175,20 +176,40 @@ def run_workload(
     run starts — the hook point for attaching instrumentation (e.g. the
     CLI's ``--hook-stats`` stage-latency histograms) without threading
     subscriber objects through every caller.
+
+    ``verify=True`` attaches the live invariant checker
+    (:mod:`repro.verify.invariants`) and raises
+    :class:`~repro.errors.VerificationError` on any semantic violation.
+    Every run additionally gets the stall watchdog: a silent deadlock
+    (e.g. the ``never`` ablation on fetch-skipping consumers) aborts with
+    a diagnostic :class:`~repro.errors.SimDeadlockError` instead of
+    spinning until the cycle limit.
     """
+    from repro.verify.invariants import StallWatchdog
+
+    if verify:
+        config = (config or SystemConfig()).with_overrides(verify=True)
     workload = make_workload(workload_name, scale=scale)
     system = setting.build_system(config=config, seed=seed, trace=trace)
     if on_system is not None:
         on_system(system)
     workload.build(system)
+    if not system.env.has_watchdog:
+        StallWatchdog(system).install()
     try:
         system.run_to_completion(limit=limit)
+    except SimDeadlockError:
+        # Typed stall diagnostic: pass it through unwrapped so callers can
+        # read .tick and .blocked.
+        raise
     except SimulationError as exc:
         raise SimulationError(
             f"{workload_name} under {setting.label} did not complete: {exc}"
         ) from exc
     if validate:
         workload.validate()
+    if system.verifier is not None:
+        system.verifier.quiesce()
     return collect_metrics(system, workload, setting)
 
 
@@ -201,9 +222,15 @@ def run_workload_traced(
 ):
     """Like :func:`run_workload` but returns (metrics, system) with tracing
     enabled — used by the Figure 7 transaction-trace experiment."""
+    from repro.verify.invariants import StallWatchdog
+
     workload = make_workload(workload_name, scale=scale)
     system = setting.build_system(config=config, seed=seed, trace=True)
     workload.build(system)
+    if not system.env.has_watchdog:
+        StallWatchdog(system).install()
     system.run_to_completion(limit=DEFAULT_CYCLE_LIMIT)
     workload.validate()
+    if system.verifier is not None:
+        system.verifier.quiesce()
     return collect_metrics(system, workload, setting), system

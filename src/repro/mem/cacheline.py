@@ -19,6 +19,7 @@ from repro.errors import DeviceError
 from repro.sim.stats import StateTimer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.hooks import HookBus
     from repro.sim.kernel import Environment
 
 
@@ -34,7 +35,7 @@ class ConsumerLine:
 
     __slots__ = ("env", "addr", "endpoint_id", "index", "_state", "timer",
                  "data", "fills", "vacates", "failed_fills", "fill_txn",
-                 "last_vacate_time")
+                 "last_vacate_time", "hooks")
 
     def __init__(
         self,
@@ -42,11 +43,15 @@ class ConsumerLine:
         addr: int,
         endpoint_id: int,
         index: int,
+        hooks: Optional["HookBus"] = None,
     ) -> None:
         self.env = env
         self.addr = addr
         self.endpoint_id = endpoint_id
         self.index = index
+        #: Instrumentation bus; occupancy transitions publish a
+        #: :class:`~repro.sim.hooks.LineHook` when somebody listens.
+        self.hooks = hooks
         self._state = LineState.EMPTY
         self.timer = StateTimer(env, LineState.EMPTY)
         self.data: Any = None
@@ -74,12 +79,14 @@ class ConsumerLine:
         """
         if self._state is LineState.VALID:
             self.failed_fills += 1
+            self._publish("failed-fill", transaction_id)
             return False
         self._state = LineState.VALID
         self.timer.transition(LineState.VALID)
         self.data = data
         self.fill_txn = transaction_id
         self.fills += 1
+        self._publish("fill", transaction_id)
         return True
 
     def consume(self) -> Any:
@@ -94,7 +101,26 @@ class ConsumerLine:
         self.timer.transition(LineState.EMPTY)
         self.vacates += 1
         self.last_vacate_time = self.env.now
+        self._publish("vacate", self.fill_txn)
         return data
+
+    def _publish(self, transition: str, transaction_id: Optional[int]) -> None:
+        """Publish one occupancy transition (zero-cost on a silent bus)."""
+        if self.hooks is None:
+            return
+        from repro.sim.hooks import LineHook
+
+        if self.hooks.wants(LineHook):
+            self.hooks.publish(
+                LineHook(
+                    tick=self.env.now,
+                    addr=self.addr,
+                    endpoint_id=self.endpoint_id,
+                    index=self.index,
+                    transition=transition,
+                    transaction_id=transaction_id,
+                )
+            )
 
     # -- metrics ---------------------------------------------------------------
     def empty_cycles(self) -> int:

@@ -79,6 +79,43 @@ class BusHook(HookEvent):
     busy_cycles: int = 0      # cumulative network busy cycles so far
 
 
+@dataclass(frozen=True)
+class PushHook(HookEvent):
+    """The library issued ``vl_push`` for one message (semantic send)."""
+
+    sqi: int = 0
+    producer_id: int = 0
+    seq: int = 0              # per-producer FIFO sequence number
+    transaction_id: int = 0
+
+
+@dataclass(frozen=True)
+class DeliveryHook(HookEvent):
+    """A consumer popped one message (the semantic delivery moment)."""
+
+    sqi: int = 0
+    endpoint_id: int = 0
+    producer_id: int = 0
+    seq: int = 0
+    transaction_id: int = 0
+
+
+@dataclass(frozen=True)
+class LineHook(HookEvent):
+    """A consumer cacheline changed occupancy state.
+
+    ``transition`` is ``"fill"`` (EMPTY→VALID), ``"vacate"`` (VALID→EMPTY)
+    or ``"failed-fill"`` (a stash bounced off a VALID line — the legal miss
+    response, not a state change).
+    """
+
+    addr: int = 0
+    endpoint_id: int = 0
+    index: int = 0
+    transition: str = ""
+    transaction_id: Optional[int] = None
+
+
 # ----------------------------------------------------------------------- bus
 @dataclass(frozen=True)
 class Subscription:

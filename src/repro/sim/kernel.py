@@ -40,6 +40,12 @@ class Environment:
         self._queue: List[Tuple[int, int, int, Event]] = []
         self._seq: int = 0
         self._active_process: Optional[Process] = None
+        # Observe-only watchdog hook: called with the current time by the
+        # first step() at or past the deadline.  It schedules nothing and
+        # never mutates kernel state, so installing one cannot perturb the
+        # event sequence — it may only raise to abort a stalled run.
+        self._watchdog: Optional[Callable[[int], None]] = None
+        self._watchdog_after: int = 0
 
     # -- clock -------------------------------------------------------------
     @property
@@ -89,6 +95,30 @@ class Environment:
         shim._value = None
         self.schedule(shim, delay=0, priority=URGENT)
 
+    # -- watchdog ------------------------------------------------------------
+    def set_watchdog(self, callback: Callable[[int], None], deadline: int) -> None:
+        """Install the observe-only stall watchdog.
+
+        *callback(now)* runs inside the first :meth:`step` whose event time
+        is at or past *deadline*.  The callback must either raise (aborting
+        the run, e.g. with :class:`~repro.errors.SimDeadlockError`) or call
+        :meth:`defer_watchdog` to arm the next deadline; returning without
+        deferring re-fires it every step.
+        """
+        self._watchdog = callback
+        self._watchdog_after = int(deadline)
+
+    def defer_watchdog(self, deadline: int) -> None:
+        """Move the watchdog deadline forward (progress was observed)."""
+        self._watchdog_after = int(deadline)
+
+    def clear_watchdog(self) -> None:
+        self._watchdog = None
+
+    @property
+    def has_watchdog(self) -> bool:
+        return self._watchdog is not None
+
     # -- execution -----------------------------------------------------------
     def peek(self) -> Optional[int]:
         """Time of the next event, or None if the queue is empty."""
@@ -102,6 +132,8 @@ class Environment:
         if when < self._now:  # pragma: no cover - heap invariant guard
             raise SchedulingError("event queue corrupted: time went backwards")
         self._now = when
+        if self._watchdog is not None and when >= self._watchdog_after:
+            self._watchdog(when)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks or ():
             callback(event)

@@ -49,6 +49,45 @@ class TxnState(Enum):
     DROPPED = "dropped"        # NACKed by a full consBuf
 
 
+#: Legal lifecycle edges (the Figure 5 flow plus the request path).  The
+#: one deliberately asymmetric edge is ``RETIRED -> RESPONDED``: the hit
+#: response for the final stash rides the network back to the device and
+#: may be stamped after the consumer already popped the line.
+LEGAL_TRANSITIONS: Dict[Optional[TxnState], frozenset] = {
+    None: frozenset({TxnState.CREATED}),
+    TxnState.CREATED: frozenset({TxnState.PUSHED, TxnState.ARRIVED}),
+    TxnState.PUSHED: frozenset({TxnState.MAPPED, TxnState.BUFFERED}),
+    TxnState.BUFFERED: frozenset({TxnState.MAPPED}),
+    TxnState.MAPPED: frozenset({TxnState.STASHED}),
+    TxnState.STASHED: frozenset({TxnState.RESPONDED, TxnState.RETIRED}),
+    TxnState.RESPONDED: frozenset(
+        {TxnState.RETIRED, TxnState.MAPPED, TxnState.BUFFERED}
+    ),
+    TxnState.RETIRED: frozenset({TxnState.RESPONDED}),
+    TxnState.ARRIVED: frozenset(
+        {TxnState.MATCHED, TxnState.COALESCED, TxnState.DROPPED}
+    ),
+    TxnState.MATCHED: frozenset(),
+    TxnState.COALESCED: frozenset(),
+    TxnState.DROPPED: frozenset(),
+}
+
+#: States that end a message record; anything else open at quiesce leaked.
+TERMINAL_MESSAGE_STATES = frozenset({TxnState.RETIRED})
+
+#: States that end a request record.  A request may also legally park at
+#: ARRIVED forever: a stale prerequest that never matches producer data
+#: stays pending in consBuf (Section 4.2) — benign, not a leak.
+TERMINAL_REQUEST_STATES = frozenset(
+    {TxnState.MATCHED, TxnState.COALESCED, TxnState.DROPPED}
+)
+
+
+def is_legal_transition(prev: Optional[TxnState], nxt: TxnState) -> bool:
+    """Whether *prev* → *nxt* is an edge of the lifecycle state machine."""
+    return nxt in LEGAL_TRANSITIONS.get(prev, frozenset())
+
+
 class TxnStamp(NamedTuple):
     """One timestamped state transition."""
 

@@ -202,10 +202,17 @@ class FixedDelay(DelayAlgorithm):
             entry.last = now
 
 
-@register_algorithm("never", offer_as_setting=False)
+@register_algorithm("never")
 class NeverPush(DelayAlgorithm):
     """Ablation control: speculation disabled (degenerates to VL behaviour
-    for endpoints that still issue requests)."""
+    for endpoints that still issue requests).
+
+    Spec-enabled endpoints never issue fetches, so running this setting on
+    a workload whose consumers are speculative stalls by construction: the
+    stall watchdog detects it and raises
+    :class:`~repro.errors.SimDeadlockError` naming the blocked consumers —
+    the diagnostic that makes the ablation safe to offer as a setting.
+    """
 
     name = "never"
 

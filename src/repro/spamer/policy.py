@@ -98,7 +98,6 @@ class SpecBufSpeculation(SpeculationPolicy):
         """Feed the hit/miss response into the entry's latches (Figure 6)."""
         assert entry.spec_entry_index is not None
         spec_entry = self.specbuf.entry(entry.spec_entry_index)
-        spec_entry.on_fly = False
         self.algorithm.on_response(spec_entry, hit, now)
         if self.hooks.wants(SpecBufHook):
             self.hooks.publish(
@@ -107,5 +106,28 @@ class SpecBufSpeculation(SpeculationPolicy):
                 )
             )
         if hit:
+            spec_entry.on_fly = False
             spec_entry.advance_offset()
             entry.spec_entry_index = None
+        # On a miss the packet keeps its claim: ``on_fly`` stays set and the
+        # offset does not rotate, so the subsequent :meth:`retry` re-targets
+        # the same slot and no younger packet can be selected past it.
+
+    def retry(self, entry: ProdEntry, now: int) -> Optional[SpecTarget]:
+        """Sticky-slot retry for a missed speculative push (Section 3.5).
+
+        Offsets rotate only on hits, so every packet occupies ring slots in
+        strict arrival order; retrying the *same* target line (rather than
+        re-walking the ring from ``specHead``) preserves per-producer FIFO
+        delivery across mis-speculations.  The delay algorithm — which just
+        learned the miss in :meth:`on_response` — decides the backoff.
+        """
+        assert entry.spec_entry_index is not None
+        spec_entry = self.specbuf.entry(entry.spec_entry_index)
+        tick = self.algorithm.send_tick(spec_entry, now)
+        if tick is None:
+            # The algorithm refuses to retry: release the claim and let the
+            # device park the packet on the buffering queue instead.
+            spec_entry.on_fly = False
+            return None
+        return SpecTarget(spec_entry.target_line, spec_entry.index, max(tick, now))

@@ -124,3 +124,24 @@ class SpecBuf:
         """The first entry of the SQI's ring (used to seed linkTab.specHead)."""
         tail = self._ring_tail.get(sqi)
         return self.entries[tail.next_index] if tail is not None else None
+
+    # ----------------------------------------------------------- diagnostics
+    def on_fly_count(self) -> int:
+        """Entries with an outstanding speculative push (Section 3.5 throttle)."""
+        return sum(1 for entry in self.entries if entry.on_fly)
+
+    def snapshot(self) -> List[dict]:
+        """Per-entry state for stall diagnostics (what the watchdog dumps)."""
+        return [
+            {
+                "index": e.index,
+                "sqi": e.sqi,
+                "endpoint": e.endpoint.endpoint_id,
+                "offset": e.offset,
+                "on_fly": e.on_fly,
+                "nfills": e.nfills,
+                "delay": e.delay,
+                "failed": e.failed,
+            }
+            for e in self.entries
+        ]

@@ -97,6 +97,12 @@ class System:
             Core(self.env, i, self.config) for i in range(self.config.num_cores)
         ]
         self.library = QueueLibrary(self)
+        #: Live invariant checker (attached when ``config.verify`` is set).
+        self.verifier = None
+        if self.config.verify:
+            from repro.verify.invariants import InvariantChecker
+
+            self.verifier = InvariantChecker(self)
         self._threads: List[Process] = []
         #: End-to-end message latency (push call -> consumer's pop return),
         #: one sample per delivered message.

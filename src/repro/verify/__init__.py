@@ -1,0 +1,42 @@
+"""The simulation correctness subsystem.
+
+Three independent legs, each attacking a different class of bug:
+
+* :mod:`repro.verify.invariants` — a **live invariant checker** that rides
+  the instrumentation hook bus during a run, plus the **stall watchdog**
+  that turns silent deadlocks into typed, diagnosable errors.
+* :mod:`repro.verify.oracle` — a **differential oracle**: a pure-Python
+  functional queue model replayed against every device flavor, diffing the
+  delivered message streams (semantics must match even though timings
+  differ).
+* :mod:`repro.verify.fuzz` — **property-based workload fuzzing**:
+  Hypothesis strategies generating randomized producer/consumer programs
+  run under both the checker and the oracle.
+
+Everything here is observe-only: enabling verification schedules no
+simulation events, so figures stay bit-identical with it on or off.
+"""
+
+from repro.verify.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    StallWatchdog,
+)
+from repro.verify.oracle import (
+    CanonicalStream,
+    FunctionalQueueModel,
+    OracleReport,
+    StreamRecorder,
+    run_differential,
+)
+
+__all__ = [
+    "CanonicalStream",
+    "FunctionalQueueModel",
+    "InvariantChecker",
+    "InvariantViolation",
+    "OracleReport",
+    "StallWatchdog",
+    "StreamRecorder",
+    "run_differential",
+]

@@ -16,6 +16,7 @@ from repro.mem.address import Segment
 from repro.mem.cacheline import ConsumerLine, LineState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.hooks import HookBus
     from repro.sim.kernel import Environment
 
 
@@ -56,6 +57,7 @@ class ConsumerEndpoint:
         core_id: int,
         num_lines: int,
         spec_enabled: bool = False,
+        hooks: Optional["HookBus"] = None,
     ) -> None:
         if num_lines < 1:
             raise RegistrationError("a consumer endpoint needs >= 1 cacheline")
@@ -71,7 +73,7 @@ class ConsumerEndpoint:
         #: SPAMeR: registered in specBuf and using the fetch-free dequeue path.
         self.spec_enabled = spec_enabled
         self.lines: List[ConsumerLine] = [
-            ConsumerLine(env, segment.line_addr(i), endpoint_id, i)
+            ConsumerLine(env, segment.line_addr(i), endpoint_id, i, hooks=hooks)
             for i in range(num_lines)
         ]
         self._rr_index = 0

@@ -29,7 +29,7 @@ from typing import Any, Generator, Optional, TYPE_CHECKING
 from repro.errors import RegistrationError, WorkloadError
 from repro.mem.bus import PacketKind
 from repro.mem.cacheline import LineState
-from repro.sim.hooks import TraceHook, TransactionHook
+from repro.sim.hooks import DeliveryHook, PushHook, TraceHook, TransactionHook
 from repro.sim.trace import EventKind
 from repro.sim.transaction import TransactionRecord, TxnState
 from repro.vlink.endpoint import ConsumerEndpoint, ProducerEndpoint
@@ -115,6 +115,7 @@ class QueueLibrary:
             core_id,
             lines,
             spec_enabled=spec,
+            hooks=self.system.hooks,
         )
         if spec:
             # spamer_register for each endpoint before handing it to the app.
@@ -176,6 +177,17 @@ class QueueLibrary:
             txn=txn,
         )
         producer.pushes += 1
+        hooks = self.system.hooks
+        if hooks.wants(PushHook):
+            hooks.publish(
+                PushHook(
+                    tick=self.env.now,
+                    sqi=message.sqi,
+                    producer_id=message.producer_id,
+                    seq=message.seq,
+                    transaction_id=txn.tid,
+                )
+            )
         # vl_push is posted (writeback-like): the producer continues while
         # the packet traverses the network; ownership is with the device.
         self.system.network.transit(PacketKind.PUSH_DATA).subscribe(
@@ -274,6 +286,17 @@ class QueueLibrary:
         message = line.consume()
         if message.txn is not None:
             self._stamp(message.txn, TxnState.RETIRED)
+        if hooks.wants(DeliveryHook):
+            hooks.publish(
+                DeliveryHook(
+                    tick=self.env.now,
+                    sqi=message.sqi,
+                    endpoint_id=consumer.endpoint_id,
+                    producer_id=message.producer_id,
+                    seq=message.seq,
+                    transaction_id=message.transaction_id,
+                )
+            )
         self.system.latency_stats.add(self.env.now - message.produced_at)
         consumer.advance()
         consumer.pops += 1

@@ -70,6 +70,15 @@ class SpeculationPolicy:
         """Feed a speculative push's hit/miss response back into the policy."""
         raise NotImplementedError
 
+    def retry(self, entry: ProdEntry, now: int) -> Optional[SpecTarget]:
+        """Sticky-slot retry target for a missed speculative push.
+
+        Returning a target keeps the packet on its already-assigned slot
+        (FIFO preservation); returning None releases the claim and the
+        device falls back to the generic Figure-5 requeue.
+        """
+        return None
+
     def register(self, endpoint: "ConsumerEndpoint") -> None:
         """Handle a ``spamer_register`` store for *endpoint*."""
         raise NotImplementedError
@@ -163,6 +172,21 @@ class MappingPipeline:
     def consbuf_occupancy(self) -> int:
         return self._consbuf_occupancy
 
+    def occupancy_snapshot(self) -> dict:
+        """Per-SQI buffering/request occupancy for stall diagnostics.
+
+        Returns ``{sqi: (buffered_data, pending_requests)}`` for every SQI
+        with anything outstanding — what the watchdog dumps when a run
+        stalls, so the report names *where* packets are parked.
+        """
+        out = {}
+        for sqi, row in self.linktab.rows.items():
+            buffered = len(row.buffered_data)
+            pending = len(row.pending_requests)
+            if buffered or pending:
+                out[sqi] = (buffered, pending)
+        return out
+
     # ------------------------------------------------------------ producer side
     def ingress(self, entry: ProdEntry) -> None:
         """A push packet enters the pipeline (one stage-latency traversal)."""
@@ -171,6 +195,20 @@ class MappingPipeline:
     def requeue(self, entry: ProdEntry) -> None:
         """Figure 5: a missed packet re-enters the mapping pipeline."""
         self._after(self.stage_latency, lambda: self._map(entry))
+
+    def redispatch(self, entry: ProdEntry, spec: SpecTarget) -> None:
+        """Figure 5 path B with a *sticky* target: retry the assigned slot.
+
+        A missed speculative packet re-traverses the pipeline and re-sends
+        to the same cacheline it was already assigned.  Because the packet
+        never gives up its specBuf slot, younger packets of the same SQI
+        cannot be stashed into an earlier ring position — this is what
+        keeps delivery per-producer FIFO across mis-speculations.
+        """
+        self.stats.add("spec_retries")
+        self.stamp(entry.message.txn, TxnState.MAPPED, entry.sqi, "retry")
+        delay = self.stage_latency + max(0, spec.send_tick - self.env.now)
+        self._after(delay, lambda: self._dispatch(entry, spec.line, True))
 
     def _map(self, entry: ProdEntry) -> None:
         """Address-mapping pipeline outcome for one prodBuf entry."""

@@ -251,9 +251,19 @@ class VirtualLinkRoutingDevice:
         else:
             self.stats.add("push_failures")
             self.stats.add("spec_failures" if speculative else "ondemand_failures")
-            entry.spec_entry_index = None
-            # Figure 5: the prodBuf entry re-enters the mapping pipeline.
-            self.pipeline.requeue(entry)
+            target = (
+                self.pipeline.speculation.retry(entry, self.env.now)
+                if speculative and entry.spec_entry_index is not None
+                else None
+            )
+            if target is not None:
+                # Sticky retry: the packet keeps its assigned slot so
+                # younger packets cannot be delivered ahead of it.
+                self.pipeline.redispatch(entry, target)
+            else:
+                entry.spec_entry_index = None
+                # Figure 5: the prodBuf entry re-enters the mapping pipeline.
+                self.pipeline.requeue(entry)
         self.pipeline.kick(row)
 
     # -------------------------------------------------------- speculation API

@@ -1,0 +1,90 @@
+"""Property-based semantic fuzzing (Hypothesis).
+
+Randomized producer/consumer programs — arbitrary small topologies, message
+counts and compute delays — must satisfy every live invariant *and* match
+the functional queue model, on every device flavor.  Hypothesis shrinks a
+failing case to a minimal :class:`~repro.verify.fuzz.ProgramSpec`, which
+replays deterministically via ``run_fuzz_case``.
+
+The module skips cleanly when Hypothesis is not installed (it is an
+optional dev dependency; the simulator itself never imports it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.fuzz import (
+    HAVE_HYPOTHESIS,
+    FuzzWorkload,
+    LinkSpec,
+    ProgramSpec,
+    run_fuzz_case,
+    run_fuzz_differential,
+)
+
+if not HAVE_HYPOTHESIS:  # pragma: no cover - environment dependent
+    pytest.skip("hypothesis is not installed", allow_module_level=True)
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.verify.fuzz import program_specs
+from repro.eval.runner import setting_by_name
+
+FUZZ_PROFILE = settings(
+    max_examples=12,
+    deadline=None,
+    derandomize=True,  # fixed example sequence: deterministic in CI
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(spec=program_specs())
+@FUZZ_PROFILE
+def test_fuzzed_programs_hold_all_invariants_under_tuned(spec):
+    """Checker + watchdog + oracle must stay clean on arbitrary programs."""
+    result = run_fuzz_case(spec, setting_by_name("tuned"))
+    assert result.ok, result.mismatches() or result.violations
+
+
+@given(spec=program_specs())
+@settings(max_examples=6, deadline=None, derandomize=True,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_fuzzed_programs_agree_across_devices(spec):
+    """VL and SPAMeR(0delay) deliver identical canonical streams."""
+    mismatches = run_fuzz_differential(
+        spec, [setting_by_name("vl"), setting_by_name("0delay")]
+    )
+    assert not mismatches, "\n".join(mismatches)
+
+
+# ------------------------------------------------------------- regressions
+#: Hand-picked specs that exercise the paths fuzzing has caught bugs in:
+#: wrap-around pressure (messages >> lines, retried speculative fills) and
+#: M:N sharding with contending producers.
+REGRESSION_SPECS = [
+    ProgramSpec(links=(LinkSpec(1, 1, 10),), producer_compute=0,
+                consumer_compute=400),
+    ProgramSpec(links=(LinkSpec(2, 2, 8),), producer_compute=0,
+                consumer_compute=100),
+    ProgramSpec(links=(LinkSpec(1, 2, 6), LinkSpec(2, 1, 6)),
+                producer_compute=50, consumer_compute=50),
+]
+
+
+@pytest.mark.parametrize("spec", REGRESSION_SPECS, ids=lambda s: s.label())
+@pytest.mark.parametrize("name", ["vl", "0delay", "tuned"])
+def test_regression_specs_stay_clean(spec, name):
+    result = run_fuzz_case(spec, setting_by_name(name))
+    assert result.ok, result.mismatches() or result.violations
+    assert result.stream.total_delivered() == sum(
+        link.total_messages for link in spec.links
+    )
+
+
+def test_fuzz_workload_validates_conservation():
+    """FuzzWorkload's own produced/consumed bookkeeping is exercised."""
+    spec = ProgramSpec(links=(LinkSpec(1, 1, 3),))
+    workload = FuzzWorkload(spec)
+    assert workload.num_threads() == 2
+    assert spec.label().startswith("fuzz[")
