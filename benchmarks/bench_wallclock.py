@@ -1,0 +1,48 @@
+"""Wall-clock harness — serial vs. parallel executor on a fixed matrix.
+
+Unlike the figure benches (which measure *simulated* cycles), this one
+measures *host* wall time: the same grid of independent simulations is run
+serially and through the multiprocess executor, and the two legs' metrics
+must be bit-identical — so the recorded speedup can never come from
+computing something different.  Timings are record-only (printed and
+written to ``BENCH_parallel.json`` by ``tools/bench.py``); nothing here
+asserts a threshold, keeping the job green on loaded or single-core CI
+machines.  See docs/PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+# tools/ is not a package; make `import bench` resolve to tools/bench.py.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tools"))
+
+import bench
+
+from _shared import BENCH_SEED
+
+
+def test_wallclock_parallel_matches_serial(benchmark):
+    result = benchmark.pedantic(
+        bench.run_benchmark,
+        kwargs=dict(
+            workloads=bench.QUICK_WORKLOADS,
+            settings=bench.QUICK_SETTINGS,
+            scale=bench.QUICK_SCALE,
+            seed=BENCH_SEED,
+            jobs=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + json.dumps(result, indent=2, sort_keys=True))
+
+    # The invariant worth asserting: both legs computed the same thing.
+    assert result["identical"]
+    assert result["matrix"]["runs"] == 4
+    assert result["serial"]["kernel_events"] > 0
+    # Record-only: wall times exist, but no flaky speedup threshold.
+    assert result["serial"]["wall_s"] > 0
+    assert result["parallel"]["wall_s"] > 0

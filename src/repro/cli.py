@@ -47,7 +47,8 @@ def _setting(name: str) -> Setting:
 
 
 def _grid(args):
-    return comparison_experiment(scale=args.scale, seed=args.seed)
+    return comparison_experiment(scale=args.scale, seed=args.seed,
+                                 jobs=getattr(args, "jobs", None))
 
 
 def cmd_table1(_args) -> None:
@@ -101,7 +102,8 @@ def cmd_fig10b(args) -> None:
 def cmd_fig11(args) -> None:
     from repro.eval.sweep import sensitivity_sweep
 
-    points = sensitivity_sweep(args.workload, scale=args.scale, seed=args.seed)
+    points = sensitivity_sweep(args.workload, scale=args.scale, seed=args.seed,
+                               jobs=getattr(args, "jobs", None))
     rows = [
         [p.label, p.params.label() if p.params else "-",
          f"{p.normalized_delay:.3f}", f"{p.normalized_energy:.3f}"]
@@ -114,6 +116,7 @@ def cmd_fig11(args) -> None:
 def cmd_run(args) -> None:
     hist = None
     verify = getattr(args, "verify", False)
+    jobs = getattr(args, "jobs", None)
     captured = {}
 
     def on_system(system) -> None:
@@ -126,8 +129,19 @@ def cmd_run(args) -> None:
 
         hist = StageLatencyHistogram()
 
-    m = run_workload(args.workload, _setting(args.setting), scale=args.scale,
-                     seed=args.seed, on_system=on_system, verify=verify)
+    if jobs not in (None, 1) and hist is None:
+        # Route the run through the multiprocess executor — same metrics,
+        # exercised worker path (handy as a parallel-executor smoke test).
+        from repro.eval.parallel import RunRequest, run_requests
+
+        request = RunRequest.from_setting(
+            args.workload, _setting(args.setting), scale=args.scale,
+            seed=args.seed, verify=verify,
+        )
+        m = run_requests([request], jobs=jobs)[0]
+    else:
+        m = run_workload(args.workload, _setting(args.setting), scale=args.scale,
+                         seed=args.seed, on_system=on_system, verify=verify)
     rows = [
         ["execution", f"{m.exec_cycles} cycles ({m.exec_ms:.3f} ms)"],
         ["messages", m.messages_delivered],
@@ -146,6 +160,11 @@ def cmd_run(args) -> None:
             # reaching here means a clean bill of health.
             print()
             print(f"verification: PASS ({verifier.summary()})")
+    elif verify:
+        # Worker-process run: quiesce() already raised on any violation
+        # before the metrics crossed the process boundary.
+        print()
+        print("verification: PASS (checked in worker process)")
     if hist is not None:
         print()
         print("per-stage transaction latency histograms (cycles)")
@@ -219,7 +238,8 @@ def cmd_replicate(args) -> None:
     from repro.eval.replication import replicated_comparison
 
     seeds = [args.seed + i for i in range(args.seeds)]
-    result = replicated_comparison(seeds=seeds, scale=args.scale)
+    result = replicated_comparison(seeds=seeds, scale=args.scale,
+                                   jobs=getattr(args, "jobs", None))
     rows = [[label, str(stat)] for label, stat in result.geomeans.items()]
     print(format_table(["setting", "geomean speedup (95% CI)"], rows,
                        title=f"Figure 8 geomeans over {args.seeds} seeds"))
@@ -228,7 +248,8 @@ def cmd_replicate(args) -> None:
 def cmd_batch(args) -> None:
     from repro.eval.batch import run_batch_file, summarize_report
 
-    report = run_batch_file(args.spec, report_path=args.out)
+    report = run_batch_file(args.spec, report_path=args.out,
+                            jobs=getattr(args, "jobs", None))
     print(format_table(["workload", "setting", "mean speedup"],
                        summarize_report(report),
                        title=f"Batch study: {report['name']}"))
@@ -261,6 +282,14 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--setting", choices=_setting_names(), default="tuned")
         return p
 
+    def jobs(p):
+        p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="fan independent simulations across N worker "
+                            "processes (0 = all cores; default: serial). "
+                            "Results are bit-identical to serial runs — "
+                            "see docs/PERFORMANCE.md")
+        return p
+
     sub.add_parser("table1", help="Table 1").set_defaults(fn=cmd_table1)
     sub.add_parser("table2", help="Table 2").set_defaults(fn=cmd_table2)
     p = common(sub.add_parser("fig7", help="Figure 7 transaction trace"),
@@ -269,16 +298,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", metavar="FILE", default=None,
                    help="export the full trace as CSV instead of printing")
     p.set_defaults(fn=cmd_fig7, setting="vl")
-    common(sub.add_parser("fig8", help="Figure 8 speedups")).set_defaults(fn=cmd_fig8)
-    common(sub.add_parser("fig9", help="Figure 9 breakdown")).set_defaults(fn=cmd_fig9)
-    common(sub.add_parser("fig10a", help="Figure 10a failure rates")).set_defaults(
-        fn=cmd_fig10a)
-    common(sub.add_parser("fig10b", help="Figure 10b bus utilization")).set_defaults(
-        fn=cmd_fig10b)
-    common(sub.add_parser("fig11", help="Figure 11 sensitivity panel"),
-           workload=True).set_defaults(fn=cmd_fig11)
-    p = common(sub.add_parser("run", help="run one workload under one setting"),
-               workload=True, setting=True)
+    jobs(common(sub.add_parser("fig8", help="Figure 8 speedups"))).set_defaults(
+        fn=cmd_fig8)
+    jobs(common(sub.add_parser("fig9", help="Figure 9 breakdown"))).set_defaults(
+        fn=cmd_fig9)
+    jobs(common(sub.add_parser("fig10a", help="Figure 10a failure rates"))
+         ).set_defaults(fn=cmd_fig10a)
+    jobs(common(sub.add_parser("fig10b", help="Figure 10b bus utilization"))
+         ).set_defaults(fn=cmd_fig10b)
+    jobs(common(sub.add_parser("fig11", help="Figure 11 sensitivity panel"),
+                workload=True)).set_defaults(fn=cmd_fig11)
+    p = jobs(common(sub.add_parser("run", help="run one workload under one setting"),
+                    workload=True, setting=True))
     p.add_argument("--hook-stats", action="store_true",
                    help="dump per-stage transaction latency histograms "
                         "collected over the instrumentation hook bus")
@@ -294,12 +325,12 @@ def build_parser() -> argparse.ArgumentParser:
         fn=cmd_inline)
     sub.add_parser("motivation", help="Figure 1 latency comparison").set_defaults(
         fn=cmd_motivation)
-    p = common(sub.add_parser("replicate",
-                              help="Figure 8 geomeans across seeds"))
+    p = jobs(common(sub.add_parser("replicate",
+                                   help="Figure 8 geomeans across seeds")))
     p.add_argument("--seeds", type=int, default=3,
                    help="number of replication seeds")
     p.set_defaults(fn=cmd_replicate)
-    p = sub.add_parser("batch", help="run a JSON experiment spec")
+    p = jobs(sub.add_parser("batch", help="run a JSON experiment spec"))
     p.add_argument("spec", help="path to the spec file (see repro.eval.batch)")
     p.add_argument("--out", default=None, help="write the JSON report here")
     p.set_defaults(fn=cmd_batch)

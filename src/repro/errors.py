@@ -34,6 +34,16 @@ class SimDeadlockError(SimulationError):
         self.tick = int(tick)
         self.blocked = tuple(blocked)
 
+    def __reduce__(self):
+        # Explicit reconstruction: the parallel executor ships worker
+        # failures across the process boundary by pickle, and the default
+        # BaseException reduction only re-calls ``cls(*args)`` — which
+        # would drop ``tick``/``blocked`` for any subclass that stops
+        # storing them in ``__dict__``.  Keyword-free positional form keeps
+        # this valid for subclasses with the same signature.
+        return (type(self), (self.args[0] if self.args else "",
+                             self.tick, self.blocked))
+
 
 class VerificationError(ReproError):
     """Raised when the correctness subsystem finds a semantic violation.
@@ -46,6 +56,12 @@ class VerificationError(ReproError):
     def __init__(self, message: str, violations: tuple = ()) -> None:
         super().__init__(message)
         self.violations = tuple(violations)
+
+    def __reduce__(self):
+        # See SimDeadlockError.__reduce__: keep the structured violation
+        # list intact across the worker-process boundary.
+        return (type(self), (self.args[0] if self.args else "",
+                             self.violations))
 
 
 class ConfigError(ReproError):

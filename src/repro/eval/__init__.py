@@ -26,6 +26,14 @@ from repro.eval.experiments import (
     trace_experiment,
 )
 from repro.eval.metrics import RunMetrics
+from repro.eval.parallel import (
+    RunOutcome,
+    RunRequest,
+    execute_request,
+    execute_requests,
+    resolve_jobs,
+    run_requests,
+)
 from repro.eval.replication import (
     ReplicatedComparison,
     ReplicatedStat,
@@ -62,6 +70,12 @@ __all__ = [
     "PAPER_TUNED_PARAMS",
     "PowerEstimate",
     "RunMetrics",
+    "RunOutcome",
+    "RunRequest",
+    "execute_request",
+    "execute_requests",
+    "resolve_jobs",
+    "run_requests",
     "SensitivityPoint",
     "Setting",
     "TraceResult",

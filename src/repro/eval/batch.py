@@ -28,9 +28,9 @@ from typing import Dict, List, Optional
 
 from repro.config import SystemConfig
 from repro.errors import ConfigError
+from repro.eval.parallel import RunRequest, run_requests
 from repro.eval.runner import (
     available_setting_names,
-    run_workload,
     setting_by_name,
 )
 from repro.workloads.registry import workload_names
@@ -73,24 +73,38 @@ def parse_spec(spec: Dict) -> Dict:
     return out
 
 
-def run_batch(spec: Dict) -> Dict:
-    """Run the grid a spec describes; returns the JSON-serializable report."""
+def run_batch(spec: Dict, jobs: Optional[int] = None) -> Dict:
+    """Run the grid a spec describes; returns the JSON-serializable report.
+
+    ``jobs`` fans the independent (workload × setting × seed) cells across
+    worker processes (0 = all cores; default serial); the report is
+    bit-identical either way because results merge in submission order.
+    """
     norm = parse_spec(spec)
     config = SystemConfig().with_overrides(**norm["config"])
     settings = {name: setting_by_name(name) for name in norm["settings"]}
     baseline_name = norm["settings"][0]
 
+    cells = [
+        (workload, setting_name, seed)
+        for workload in norm["workloads"]
+        for setting_name in settings
+        for seed in norm["seeds"]
+    ]
+    requests = [
+        RunRequest.from_setting(
+            workload, settings[setting_name], scale=norm["scale"],
+            config=config, seed=seed,
+        )
+        for workload, setting_name, seed in cells
+    ]
+    all_metrics = run_requests(requests, jobs=jobs)
+
     results: Dict[str, Dict[str, Dict[str, Dict]]] = {}
-    for workload in norm["workloads"]:
-        results[workload] = {}
-        for setting_name, setting in settings.items():
-            results[workload][setting_name] = {}
-            for seed in norm["seeds"]:
-                metrics = run_workload(
-                    workload, setting, scale=norm["scale"],
-                    config=config, seed=seed,
-                )
-                results[workload][setting_name][str(seed)] = _metrics_to_dict(metrics)
+    for (workload, setting_name, seed), metrics in zip(cells, all_metrics):
+        per_workload = results.setdefault(workload, {})
+        per_setting = per_workload.setdefault(setting_name, {})
+        per_setting[str(seed)] = _metrics_to_dict(metrics)
 
     # Derived: per-seed speedups over the first listed setting.
     speedups: Dict[str, Dict[str, Dict[str, float]]] = {}
@@ -112,11 +126,15 @@ def run_batch(spec: Dict) -> Dict:
     }
 
 
-def run_batch_file(spec_path: str, report_path: Optional[str] = None) -> Dict:
+def run_batch_file(
+    spec_path: str,
+    report_path: Optional[str] = None,
+    jobs: Optional[int] = None,
+) -> Dict:
     """Load a spec file, run it, and optionally write the report."""
     with open(spec_path) as fh:
         spec = json.load(fh)
-    report = run_batch(spec)
+    report = run_batch(spec, jobs=jobs)
     if report_path:
         with open(report_path, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)

@@ -112,17 +112,31 @@ def comparison_experiment(
     scale: float = 1.0,
     config: Optional[SystemConfig] = None,
     seed: int = 0xC0FFEE,
+    jobs: Optional[int] = None,
 ) -> ComparisonResult:
-    """Run the Figure 8/9/10 grid: every workload under every setting."""
+    """Run the Figure 8/9/10 grid: every workload under every setting.
+
+    ``jobs`` fans the grid's independent cells across worker processes
+    (0 = all cores; default serial) with bit-identical metrics — see
+    :mod:`repro.eval.parallel`.
+    """
+    from repro.eval.parallel import RunRequest, run_requests
+
     settings = settings or standard_settings()
     names = workloads or workload_names()
-    result = ComparisonResult(settings=[s.label for s in settings])
-    for name in names:
-        result.metrics[name] = {}
-        for setting in settings:
-            result.metrics[name][setting.label] = run_workload(
+    cells = [(name, setting) for name in names for setting in settings]
+    metrics = run_requests(
+        [
+            RunRequest.from_setting(
                 name, setting, scale=scale, config=config, seed=seed
             )
+            for name, setting in cells
+        ],
+        jobs=jobs,
+    )
+    result = ComparisonResult(settings=[s.label for s in settings])
+    for (name, setting), m in zip(cells, metrics):
+        result.metrics.setdefault(name, {})[setting.label] = m
     return result
 
 

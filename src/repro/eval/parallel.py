@@ -1,0 +1,228 @@
+"""Deterministic multiprocess experiment executor.
+
+Every figure in the paper is a matrix sweep of *independent* simulations —
+Figure 8 is 8 workloads × 4 settings, Figure 11 a parameter grid, the
+replication study all of that × seeds.  Each simulation is a fresh seeded
+:class:`~repro.sim.kernel.Environment`, so fanning them across a
+:class:`~concurrent.futures.ProcessPoolExecutor` cannot change any result:
+workers share no mutable state, and results are merged in **submission
+order** regardless of completion order.  Batch reports, sweep points and
+the pinned golden Figure-8 metrics are therefore bit-identical between
+``jobs=1`` and ``jobs=N`` (guarded by ``tests/test_parallel.py``).
+
+The unit of work is a picklable :class:`RunRequest` — workload name,
+device/algorithm *names* (or a picklable zero-arg factory such as
+:class:`~repro.eval.runner.TunedFactory`), scale, seed and config.  The
+worker re-resolves those names through :mod:`repro.registry` on its side of
+the process boundary; with the default ``fork`` start method the child
+also inherits any custom runtime registrations, so user-registered devices
+and algorithms fan out exactly like the shipped ones.
+
+Typed simulation errors round-trip intact: :class:`SimDeadlockError` keeps
+``.tick``/``.blocked`` and :class:`VerificationError` its ``.violations``
+across pickling (``__reduce__`` in :mod:`repro.errors`), and
+:func:`execute_requests` captures one run's failure without losing the
+other runs' results.
+
+See ``docs/PERFORMANCE.md`` for the design and determinism argument.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.eval.metrics import RunMetrics
+from repro.eval.runner import DEFAULT_CYCLE_LIMIT, Setting, run_workload
+from repro.spamer.delay import DelayAlgorithm
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One independent simulation, specified by value.
+
+    Everything here pickles: the device and algorithm travel as registry
+    names (or a picklable zero-arg factory for parameterized algorithms)
+    and are re-resolved inside the worker, so a request built in the parent
+    process runs identically in a child.
+    """
+
+    workload: str
+    device: str
+    algorithm: Union[str, Callable[[], DelayAlgorithm], None] = None
+    label: Optional[str] = None
+    scale: float = 1.0
+    seed: int = 0xC0FFEE
+    config: Optional[SystemConfig] = None
+    limit: int = DEFAULT_CYCLE_LIMIT
+    validate: bool = True
+    verify: bool = False
+
+    @classmethod
+    def from_setting(
+        cls,
+        workload: str,
+        setting: Setting,
+        *,
+        scale: float = 1.0,
+        seed: int = 0xC0FFEE,
+        config: Optional[SystemConfig] = None,
+        limit: int = DEFAULT_CYCLE_LIMIT,
+        validate: bool = True,
+        verify: bool = False,
+    ) -> "RunRequest":
+        """Snapshot a :class:`~repro.eval.runner.Setting` into a request."""
+        return cls(
+            workload=workload,
+            device=setting.device,
+            algorithm=setting.algorithm,
+            label=setting.label,
+            scale=scale,
+            seed=seed,
+            config=config,
+            limit=limit,
+            validate=validate,
+            verify=verify,
+        )
+
+    def setting(self) -> Setting:
+        """Rebuild the :class:`Setting` (in whichever process runs this)."""
+        label = self.label
+        if label is None:
+            algo = self.algorithm if isinstance(self.algorithm, str) else None
+            label = f"{self.device}({algo})" if algo else f"{self.device}(baseline)"
+        return Setting(label, self.device, self.algorithm)
+
+
+def execute_request(request: RunRequest) -> RunMetrics:
+    """Run one request to completion — the worker-process entry point.
+
+    Also the serial path: ``jobs=1`` calls this in-process, which is why
+    parallel output cannot drift from serial output.
+    """
+    return run_workload(
+        request.workload,
+        request.setting(),
+        scale=request.scale,
+        config=request.config,
+        seed=request.seed,
+        limit=request.limit,
+        validate=request.validate,
+        verify=request.verify,
+    )
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """One request's result: metrics on success, the typed error otherwise."""
+
+    index: int
+    request: RunRequest
+    metrics: Optional[RunMetrics] = None
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Effective worker count: None/1 → serial, 0 → all cores, N → N."""
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ConfigError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _mp_context():
+    """Prefer ``fork`` so workers inherit runtime registry registrations.
+
+    Under ``spawn`` (Windows/macOS default) workers still work — requests
+    re-resolve component *names* through the registry, which re-imports the
+    shipped modules — but custom registrations made at runtime in the
+    parent must then be importable from the worker side.
+    """
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def _check_picklable(requests: Sequence[RunRequest]) -> None:
+    for request in requests:
+        try:
+            pickle.dumps(request)
+        except Exception as exc:
+            raise ConfigError(
+                f"request for workload {request.workload!r} "
+                f"(setting {request.label!r}) cannot cross the process "
+                f"boundary: {exc}.  Parameterized algorithms must be "
+                f"picklable zero-arg factories (see repro.eval.runner."
+                f"TunedFactory), not lambdas or closures."
+            ) from exc
+
+
+def execute_requests(
+    requests: Sequence[RunRequest], jobs: Optional[int] = None
+) -> List[RunOutcome]:
+    """Run every request; never raises for a failing *run*.
+
+    Outcomes are returned in submission order whatever the completion
+    order, one per request: a crashed or deadlocked run yields its typed
+    exception in :attr:`RunOutcome.error` while every other run's metrics
+    are preserved.
+    """
+    requests = list(requests)
+    workers = min(resolve_jobs(jobs), len(requests)) if requests else 1
+    outcomes: List[RunOutcome] = []
+    if workers <= 1:
+        for index, request in enumerate(requests):
+            try:
+                outcomes.append(
+                    RunOutcome(index, request, metrics=execute_request(request))
+                )
+            except Exception as exc:  # noqa: BLE001 - captured per-run by design
+                outcomes.append(RunOutcome(index, request, error=exc))
+        return outcomes
+    _check_picklable(requests)
+    with ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context()) as pool:
+        futures = [pool.submit(execute_request, request) for request in requests]
+        for index, (request, future) in enumerate(zip(requests, futures)):
+            try:
+                outcomes.append(RunOutcome(index, request, metrics=future.result()))
+            except Exception as exc:  # noqa: BLE001 - captured per-run by design
+                outcomes.append(RunOutcome(index, request, error=exc))
+    return outcomes
+
+
+def run_requests(
+    requests: Sequence[RunRequest], jobs: Optional[int] = None
+) -> List[RunMetrics]:
+    """Run every request and return metrics in submission order.
+
+    The raising contract matches a plain serial loop: the first failing
+    request (in submission order) has its typed exception re-raised —
+    ``SimDeadlockError.tick``/``.blocked`` and ``VerificationError
+    .violations`` intact even when the failure happened in a worker.
+    Callers that need the surviving results around a failure use
+    :func:`execute_requests` instead.
+    """
+    requests = list(requests)
+    if min(resolve_jobs(jobs), len(requests) or 1) <= 1:
+        # Pure serial fast path: no outcome wrappers, abort at first error
+        # exactly like the historical per-figure loops.
+        return [execute_request(request) for request in requests]
+    outcomes = execute_requests(requests, jobs=jobs)
+    for outcome in outcomes:
+        if outcome.error is not None:
+            raise outcome.error
+    return [outcome.metrics for outcome in outcomes]

@@ -13,12 +13,17 @@ in the batch runner and from the CLI.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.config import SystemConfig
 from repro.eval.metrics import RunMetrics
 from repro.errors import SimDeadlockError, SimulationError
-from repro.registry import algorithm_names, device_names, resolve_device
+from repro.registry import (
+    algorithm_names,
+    device_names,
+    registry_generation,
+    resolve_device,
+)
 from repro.spamer.delay import DelayAlgorithm, TunedDelay, TunedParams
 from repro.system import System
 from repro.workloads.base import Workload
@@ -65,14 +70,18 @@ def standard_settings() -> List[Setting]:
     ]
 
 
-def setting_names() -> List[Setting]:
-    """Every zero-configuration setting the registry can offer.
+#: Registry-derived settings cache: (generation, settings, name->setting).
+#: Rebuilding the list walks every registered device × algorithm, and the
+#: batch runner resolves names in a tight loop — so it is computed once per
+#: registry generation and invalidated by any (un)registration.
+_settings_cache: Optional[Tuple[int, List[Setting], Dict[str, Setting]]] = None
 
-    One setting per registered device; speculating devices additionally get
-    one per registered zero-arg algorithm.  This is the list the CLI and
-    the batch runner expose — registering a new device or algorithm extends
-    it with no edits here.
-    """
+
+def _settings_index() -> Tuple[List[Setting], Dict[str, Setting]]:
+    global _settings_cache
+    generation = registry_generation()
+    if _settings_cache is not None and _settings_cache[0] == generation:
+        return _settings_cache[1], _settings_cache[2]
     settings: List[Setting] = []
     for device in device_names():
         spec = resolve_device(device)
@@ -81,7 +90,25 @@ def setting_names() -> List[Setting]:
             continue
         for algo in algorithm_names(include_parameterized=False):
             settings.append(Setting(f"SPAMeR({algo})", device, algo))
-    return settings
+    by_name: Dict[str, Setting] = {}
+    for setting in settings:
+        if setting.algorithm is None:
+            by_name.setdefault(setting.device, setting)
+        elif isinstance(setting.algorithm, str) and setting.device == "spamer":
+            by_name.setdefault(setting.algorithm, setting)
+    _settings_cache = (generation, settings, by_name)
+    return settings, by_name
+
+
+def setting_names() -> List[Setting]:
+    """Every zero-configuration setting the registry can offer.
+
+    One setting per registered device; speculating devices additionally get
+    one per registered zero-arg algorithm.  This is the list the CLI and
+    the batch runner expose — registering a new device or algorithm extends
+    it with no edits here.
+    """
+    return list(_settings_index()[0])
 
 
 def _device_label(device: str) -> str:
@@ -98,11 +125,9 @@ def setting_by_name(name: str) -> Setting:
     """
     from repro.errors import ConfigError
 
-    for setting in setting_names():
-        if setting.device == name and setting.algorithm is None:
-            return setting
-        if setting.algorithm == name and setting.device == "spamer":
-            return setting
+    setting = _settings_index()[1].get(name)
+    if setting is not None:
+        return setting
     raise ConfigError(
         f"unknown setting {name!r}; available settings: {available_setting_names()}"
     )
@@ -110,19 +135,29 @@ def setting_by_name(name: str) -> Setting:
 
 def available_setting_names() -> List[str]:
     """The short-names :func:`setting_by_name` accepts, in stable order."""
-    names: List[str] = []
-    for setting in setting_names():
-        short = setting.device if setting.algorithm is None else setting.algorithm
-        if isinstance(short, str) and short not in names:
-            names.append(short)
-    return names
+    return list(_settings_index()[1])
+
+
+@dataclass(frozen=True)
+class TunedFactory:
+    """Zero-arg :class:`TunedDelay` factory that survives pickling.
+
+    :func:`tuned_setting` used to close over its parameters with a lambda,
+    which made Figure-11 sweep settings unpicklable and therefore unusable
+    with the multiprocess executor (:mod:`repro.eval.parallel`).  A frozen
+    dataclass with ``__call__`` carries the parameters across the process
+    boundary and rebuilds the algorithm inside the worker.
+    """
+
+    params: TunedParams
+
+    def __call__(self) -> TunedDelay:
+        return TunedDelay(self.params)
 
 
 def tuned_setting(params: TunedParams) -> Setting:
     """A SPAMeR(tuned) setting with explicit parameters (Figure 11 sweep)."""
-    return Setting(
-        f"SPAMeR(tuned:{params.label()})", "spamer", lambda: TunedDelay(params)
-    )
+    return Setting(f"SPAMeR(tuned:{params.label()})", "spamer", TunedFactory(params))
 
 
 def collect_metrics(system: System, workload: Workload, setting: Setting) -> RunMetrics:
@@ -169,7 +204,8 @@ def run_workload(
     validate: bool = True,
     on_system: Optional[Callable[[System], None]] = None,
     verify: bool = False,
-) -> RunMetrics:
+    return_system: bool = False,
+):
     """Run one (workload, setting) pair end to end and return its metrics.
 
     *on_system* is called with the freshly built :class:`System` before the
@@ -184,6 +220,10 @@ def run_workload(
     (e.g. the ``never`` ablation on fetch-skipping consumers) aborts with
     a diagnostic :class:`~repro.errors.SimDeadlockError` instead of
     spinning until the cycle limit.
+
+    ``return_system=True`` returns ``(metrics, system)`` so callers can
+    inspect traces or device state post-run — the single code path behind
+    the Figure 7 trace experiment (no parallel, drift-prone twin).
     """
     from repro.verify.invariants import StallWatchdog
 
@@ -210,7 +250,10 @@ def run_workload(
         workload.validate()
     if system.verifier is not None:
         system.verifier.quiesce()
-    return collect_metrics(system, workload, setting)
+    metrics = collect_metrics(system, workload, setting)
+    if return_system:
+        return metrics, system
+    return metrics
 
 
 def run_workload_traced(
@@ -219,18 +262,23 @@ def run_workload_traced(
     scale: float = 1.0,
     config: Optional[SystemConfig] = None,
     seed: int = 0xC0FFEE,
+    **kwargs,
 ):
     """Like :func:`run_workload` but returns (metrics, system) with tracing
-    enabled — used by the Figure 7 transaction-trace experiment."""
-    from repro.verify.invariants import StallWatchdog
+    enabled — used by the Figure 7 transaction-trace experiment.
 
-    workload = make_workload(workload_name, scale=scale)
-    system = setting.build_system(config=config, seed=seed, trace=True)
-    workload.build(system)
-    if not system.env.has_watchdog:
-        StallWatchdog(system).install()
-    system.run_to_completion(limit=DEFAULT_CYCLE_LIMIT)
-    workload.validate()
-    if system.verifier is not None:
-        system.verifier.quiesce()
-    return collect_metrics(system, workload, setting), system
+    A thin delegate: historically this was a hand-rolled copy of
+    :func:`run_workload` that silently ignored ``limit``/``verify``/
+    ``on_system``; delegating makes the two paths incapable of drifting,
+    and any :func:`run_workload` keyword now passes straight through.
+    """
+    return run_workload(
+        workload_name,
+        setting,
+        scale=scale,
+        config=config,
+        seed=seed,
+        trace=True,
+        return_system=True,
+        **kwargs,
+    )

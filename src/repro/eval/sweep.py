@@ -15,7 +15,8 @@ from typing import List, Optional, Sequence
 
 from repro.config import SystemConfig
 from repro.eval.metrics import RunMetrics
-from repro.eval.runner import Setting, run_workload, standard_settings, tuned_setting
+from repro.eval.parallel import RunRequest, run_requests
+from repro.eval.runner import Setting, standard_settings, tuned_setting
 from repro.spamer.delay import TunedParams
 
 #: The paper's chosen parameter set (tuned on FIR, Section 3.5).
@@ -63,35 +64,46 @@ def sensitivity_sweep(
     scale: float = 1.0,
     config: Optional[SystemConfig] = None,
     seed: int = 0xC0FFEE,
+    jobs: Optional[int] = None,
 ) -> List[SensitivityPoint]:
     """Run one benchmark's Figure 11 panel; returns all markers.
 
     The first returned point is always the VL baseline (1.0, 1.0); the
     paper's chosen tuned set is included even if absent from *params_grid*.
+    Every marker is an independent simulation, so ``jobs`` fans the whole
+    panel — baseline, fixed algorithms and the entire parameter grid —
+    across worker processes with bit-identical results.
     """
     grid = list(params_grid) if params_grid is not None else default_parameter_grid()
     if PAPER_TUNED_PARAMS not in grid:
         grid.insert(0, PAPER_TUNED_PARAMS)
 
     vl, zerod, adapt, _tuned = standard_settings()
-    baseline = run_workload(workload_name, vl, scale=scale, config=config, seed=seed)
-
-    points = [
-        SensitivityPoint("VL (baseline)", None, 1.0, 1.0, baseline)
+    plan: List[tuple] = [
+        (vl, "VL (baseline)", None),
+        (zerod, "SPAMeR (0delay)", None),
+        (adapt, "SPAMeR (adapt)", None),
     ]
-    for setting, label in ((zerod, "SPAMeR (0delay)"), (adapt, "SPAMeR (adapt)")):
-        m = run_workload(workload_name, setting, scale=scale, config=config, seed=seed)
-        points.append(
-            SensitivityPoint(
-                label, None, m.normalized_delay(baseline), m.normalized_energy(baseline), m
-            )
-        )
     for params in grid:
-        setting = tuned_setting(params)
-        m = run_workload(workload_name, setting, scale=scale, config=config, seed=seed)
+        label = (
+            "SPAMeR (tuned)" if params == PAPER_TUNED_PARAMS else "SPAMeR (other)"
+        )
+        plan.append((tuned_setting(params), label, params))
+
+    requests = [
+        RunRequest.from_setting(
+            workload_name, setting, scale=scale, config=config, seed=seed
+        )
+        for setting, _label, _params in plan
+    ]
+    metrics = run_requests(requests, jobs=jobs)
+
+    baseline = metrics[0]
+    points = [SensitivityPoint("VL (baseline)", None, 1.0, 1.0, baseline)]
+    for (_setting, label, params), m in zip(plan[1:], metrics[1:]):
         points.append(
             SensitivityPoint(
-                "SPAMeR (tuned)" if params == PAPER_TUNED_PARAMS else "SPAMeR (other)",
+                label,
                 params,
                 m.normalized_delay(baseline),
                 m.normalized_energy(baseline),

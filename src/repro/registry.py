@@ -40,6 +40,22 @@ _BUILTIN_MODULES = (
 
 _builtins_loaded = False
 
+#: Monotonic registration-change counter.  Bumped by every (un)registration
+#: of a device or algorithm; derived caches (e.g. the runner's settings
+#: list) key on it to invalidate exactly when the registry changes.
+_generation = 0
+
+
+def registry_generation() -> int:
+    """The current registration-change counter (cache-invalidation key)."""
+    _ensure_builtins()
+    return _generation
+
+
+def _bump_generation() -> None:
+    global _generation
+    _generation += 1
+
 
 def _ensure_builtins() -> None:
     """Import the shipped components so their decorators have run."""
@@ -129,6 +145,7 @@ def register_device(
             description=description or (cls.__doc__ or "").strip().split("\n")[0],
         )
         cls.registry_name = name
+        _bump_generation()
         return cls
 
     return decorator
@@ -152,7 +169,8 @@ def device_names() -> List[str]:
 
 def unregister_device(name: str) -> None:
     """Remove a registration (test isolation helper)."""
-    _DEVICES.pop(name, None)
+    if _DEVICES.pop(name, None) is not None:
+        _bump_generation()
 
 
 # ---------------------------------------------------------------- algorithms
@@ -196,6 +214,7 @@ def register_algorithm(
             description=description
             or (factory.__doc__ or "").strip().split("\n")[0],
         )
+        _bump_generation()
         return factory
 
     return decorator
@@ -230,4 +249,5 @@ def algorithm_names(include_parameterized: bool = True) -> List[str]:
 
 def unregister_algorithm(name: str) -> None:
     """Remove a registration (test isolation helper)."""
-    _ALGORITHMS.pop(name, None)
+    if _ALGORITHMS.pop(name, None) is not None:
+        _bump_generation()

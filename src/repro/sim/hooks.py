@@ -132,6 +132,11 @@ class HookBus:
     def __init__(self) -> None:
         self._subs: Dict[Type[HookEvent], List[Subscription]] = {}
         self._next_token = 0
+        #: Memoized per-concrete-type delivery lists: event type -> the
+        #: flattened (MRO-ordered, then subscription-ordered) subscriber
+        #: tuple.  Invalidated wholesale on any (un)subscribe, so the hot
+        #: publish/wants path never re-walks the MRO.
+        self._resolved: Dict[Type[HookEvent], Tuple[Subscription, ...]] = {}
         #: (subscription, exception) pairs captured during publishes; a
         #: failing subscriber never blocks delivery to the others.
         self.errors: List[Tuple[Subscription, Exception]] = []
@@ -146,6 +151,7 @@ class HookBus:
         sub = Subscription(event_type, self._next_token, callback)
         self._next_token += 1
         self._subs.setdefault(event_type, []).append(sub)
+        self._resolved.clear()
         return sub
 
     def unsubscribe(self, subscription: Subscription) -> bool:
@@ -156,36 +162,48 @@ class HookBus:
         subs.remove(subscription)
         if not subs:
             del self._subs[subscription.event_type]
+        self._resolved.clear()
         return True
 
     # ------------------------------------------------------------- publishing
+    def _resolve(self, event_type: Type[HookEvent]) -> Tuple[Subscription, ...]:
+        """The delivery list for *event_type*: its MRO walked once, then
+        memoized until the subscription set changes."""
+        resolved = self._resolved.get(event_type)
+        if resolved is None:
+            subs = self._subs
+            resolved = tuple(
+                sub for t in event_type.__mro__ for sub in subs.get(t, ())
+            )
+            self._resolved[event_type] = resolved
+        return resolved
+
     def wants(self, event_type: Type[HookEvent]) -> bool:
         """True when at least one subscriber would receive *event_type*.
 
         Publishers use this to skip constructing event objects on silent
-        buses, keeping the un-instrumented hot path free.
+        buses, keeping the un-instrumented hot path free (the empty-dict
+        check below allocates nothing and touches no cache).
         """
         if not self._subs:
             return False
-        return any(t in self._subs for t in event_type.__mro__)
+        return bool(self._resolve(event_type))
 
     def publish(self, event: HookEvent) -> None:
         """Deliver *event* to every subscriber of its type and supertypes.
 
         MRO order first (exact type before catch-alls), subscription order
-        within a type.  Exceptions are recorded, not raised.
+        within a type.  Exceptions are recorded, not raised.  The memoized
+        delivery tuple doubles as the snapshot that keeps delivery stable
+        when a callback (un)subscribes mid-publish.
         """
         if not self._subs:
             return
-        for event_type in type(event).__mro__:
-            subs = self._subs.get(event_type)
-            if not subs:
-                continue
-            for sub in list(subs):
-                try:
-                    sub.callback(event)
-                except Exception as exc:  # noqa: BLE001 - isolation by design
-                    self.errors.append((sub, exc))
+        for sub in self._resolve(type(event)):
+            try:
+                sub.callback(event)
+            except Exception as exc:  # noqa: BLE001 - isolation by design
+                self.errors.append((sub, exc))
 
     # ---------------------------------------------------------------- queries
     @property

@@ -9,6 +9,15 @@ in scheduling order.
 Time is an integer cycle count.  All device latencies in this package are
 integral, which keeps the heap exact (no float comparisons) and runs
 reproducible bit-for-bit across platforms.
+
+Hot-path notes (see docs/PERFORMANCE.md): the dispatch loops in
+:meth:`Environment.run` and :meth:`Environment.run_until_complete` inline
+the body of :meth:`Environment.step` with the queue and ``heappop`` bound
+to locals — a simulation is millions of ``step`` calls, so the attribute
+lookups and the extra frame per event are measurable.  Deferred callbacks
+(:meth:`Environment.schedule_callback`) ride the heap as plain 5-tuples
+instead of allocating a shim :class:`Event` per call; the ``sequence``
+tiebreak guarantees tuple comparison never reaches the payload slot.
 """
 
 from __future__ import annotations
@@ -37,8 +46,13 @@ class Environment:
 
     def __init__(self, initial_time: int = 0) -> None:
         self._now: int = int(initial_time)
-        self._queue: List[Tuple[int, int, int, Event]] = []
+        #: Heap entries are ``(time, priority, seq, event)`` for ordinary
+        #: events or ``(time, priority, seq, callback, arg)`` for deferred
+        #: callbacks (see :meth:`schedule_callback`).  ``seq`` is unique, so
+        #: heap comparisons never reach the payload slots.
+        self._queue: List[Tuple] = []
         self._seq: int = 0
+        self._processed: int = 0
         self._active_process: Optional[Process] = None
         # Observe-only watchdog hook: called with the current time by the
         # first step() at or past the deadline.  It schedules nothing and
@@ -52,6 +66,12 @@ class Environment:
     def now(self) -> int:
         """Current simulated time in cycles."""
         return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total heap entries dispatched so far (the wall-clock benchmark's
+        events/sec denominator)."""
+        return self._processed
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -88,12 +108,16 @@ class Environment:
         self._seq += 1
 
     def schedule_callback(self, callback: Callable[[Event], None], event: Event) -> None:
-        """Run *callback(event)* for an already-processed event via the queue."""
-        shim = Event(self, name="callback-shim")
-        shim.callbacks.append(lambda _ev: callback(event))
-        shim._ok = True
-        shim._value = None
-        self.schedule(shim, delay=0, priority=URGENT)
+        """Run *callback(event)* for an already-processed event via the queue.
+
+        The deferred call is stored directly in the heap entry — a 5-tuple
+        ``(time, priority, seq, callback, event)`` — so no shim
+        :class:`Event` is allocated per call.
+        """
+        heapq.heappush(
+            self._queue, (self._now, URGENT, self._seq, callback, event)
+        )
+        self._seq += 1
 
     # -- watchdog ------------------------------------------------------------
     def set_watchdog(self, callback: Callable[[int], None], deadline: int) -> None:
@@ -124,22 +148,32 @@ class Environment:
         """Time of the next event, or None if the queue is empty."""
         return self._queue[0][0] if self._queue else None
 
-    def step(self) -> None:
-        """Process the single earliest event."""
-        if not self._queue:
-            raise SimulationError("step() on an empty event queue")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+    def _dispatch(self, entry: Tuple) -> None:
+        """Advance the clock to *entry* and run its payload (one event)."""
+        when = entry[0]
         if when < self._now:  # pragma: no cover - heap invariant guard
             raise SchedulingError("event queue corrupted: time went backwards")
         self._now = when
         if self._watchdog is not None and when >= self._watchdog_after:
             self._watchdog(when)
+        self._processed += 1
+        if len(entry) == 5:
+            # Deferred callback (schedule_callback): no Event was allocated.
+            entry[3](entry[4])
+            return
+        event = entry[3]
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks or ():
             callback(event)
         if not event.ok and not event.defused:
             # A failed event nobody handled: surface the error loudly.
             raise event.value
+
+    def step(self) -> None:
+        """Process the single earliest event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        self._dispatch(heapq.heappop(self._queue))
 
     def run(self, until: Optional[int] = None) -> int:
         """Run until the queue drains or the clock passes *until*.
@@ -150,10 +184,15 @@ class Environment:
         """
         if until is not None and until < self._now:
             raise SchedulingError(f"until={until} is in the past (now={self._now})")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
+        # Hot loop: queue/heappop/dispatch bound to locals (a run is millions
+        # of iterations; schedule() mutates the same list object in place).
+        queue = self._queue
+        pop = heapq.heappop
+        dispatch = self._dispatch
+        while queue:
+            if until is not None and queue[0][0] > until:
                 break
-            self.step()
+            dispatch(pop(queue))
         if until is not None:
             self._now = max(self._now, int(until))
         return self._now
@@ -164,16 +203,19 @@ class Environment:
         Raises :class:`SimulationError` if the queue drains (deadlock) or the
         optional *limit* is reached before the process completes.
         """
+        queue = self._queue
+        pop = heapq.heappop
+        dispatch = self._dispatch
         while not process.triggered:
-            if not self._queue:
+            if not queue:
                 raise SimulationError(
                     f"deadlock: event queue drained before {process!r} finished"
                 )
-            if limit is not None and self._queue[0][0] > limit:
+            if limit is not None and queue[0][0] > limit:
                 raise SimulationError(
                     f"simulation limit {limit} reached before {process!r} finished"
                 )
-            self.step()
+            dispatch(pop(queue))
         if not process.ok:
             raise process.value
         return process.value

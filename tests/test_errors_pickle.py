@@ -1,0 +1,46 @@
+"""Typed errors must survive a pickle round-trip with diagnostics intact.
+
+The parallel executor ships worker-side failures back to the parent
+process via pickle; a typed error that loses its payload (or worse, fails
+to unpickle) would degrade every crash report into an opaque
+``PicklingError``.  These tests pin the ``__reduce__`` contract for the
+two errors that carry structured diagnostics.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import SimDeadlockError, VerificationError
+
+
+@pytest.mark.parametrize("protocol", range(2, pickle.HIGHEST_PROTOCOL + 1))
+def test_deadlock_error_round_trips(protocol):
+    err = SimDeadlockError(
+        "no runnable work at tick 42", tick=42, blocked=("core0", "core3")
+    )
+    clone = pickle.loads(pickle.dumps(err, protocol))
+    assert type(clone) is SimDeadlockError
+    assert str(clone) == str(err)
+    assert clone.tick == 42
+    assert clone.blocked == ("core0", "core3")
+
+
+@pytest.mark.parametrize("protocol", range(2, pickle.HIGHEST_PROTOCOL + 1))
+def test_verification_error_round_trips(protocol):
+    from repro.verify.invariants import InvariantViolation
+
+    violation = InvariantViolation(
+        tick=7, rule="conservation", detail="1 message lost"
+    )
+    err = VerificationError("1 invariant violated", violations=(violation,))
+    clone = pickle.loads(pickle.dumps(err, protocol))
+    assert type(clone) is VerificationError
+    assert str(clone) == str(err)
+    assert clone.violations == (violation,)
+    assert clone.violations[0].rule == "conservation"
+
+
+def test_deadlock_error_defaults_survive():
+    clone = pickle.loads(pickle.dumps(SimDeadlockError("bare")))
+    assert clone.tick == 0 and clone.blocked == ()

@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark: serial vs. parallel experiment execution.
+
+Runs a fixed workload × setting matrix (the Figure 8 grid by default) twice
+— once serially in-process, once fanned across worker processes via
+:mod:`repro.eval.parallel` — and records wall times, the speedup, and the
+kernel event-dispatch rate.  The two legs' metrics are asserted equal, so a
+recorded speedup can never come from computing something different.
+
+This seeds the repo's perf trajectory: the committed ``BENCH_parallel.json``
+is a *record*, not a threshold — CI re-measures and uploads its own copy as
+an artifact but only asserts the equality invariant, never a timing (see
+docs/PERFORMANCE.md for how to read the file).
+
+Usage::
+
+    python tools/bench.py                 # full Fig-8 matrix, scale 0.25
+    python tools/bench.py --quick         # small matrix for CI smoke runs
+    python tools/bench.py --jobs 8 --out BENCH_parallel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.eval.parallel import RunRequest, resolve_jobs, run_requests  # noqa: E402
+from repro.eval.runner import run_workload, setting_by_name  # noqa: E402
+from repro.workloads.registry import workload_names  # noqa: E402
+
+#: The four evaluated settings' short-names, Figure 8 order.
+FIG8_SETTINGS = ("vl", "0delay", "adapt", "tuned")
+
+#: --quick: a 2-workload × 2-setting corner of the matrix at a small scale,
+#: sized for a CI smoke job rather than a meaningful timing.
+QUICK_WORKLOADS = ("ping-pong", "incast")
+QUICK_SETTINGS = ("vl", "tuned")
+QUICK_SCALE = 0.05
+
+
+def build_requests(
+    workloads: Sequence[str],
+    settings: Sequence[str],
+    scale: float,
+    seed: int,
+) -> List[RunRequest]:
+    """The fixed matrix, flattened in Figure-8 (workload-major) order."""
+    return [
+        RunRequest.from_setting(w, setting_by_name(s), scale=scale, seed=seed)
+        for w in workloads
+        for s in settings
+    ]
+
+
+def measure_serial(requests: Sequence[RunRequest]):
+    """Serial leg: metrics, wall seconds, and total kernel events dispatched.
+
+    Runs in-process with ``return_system=True`` so the kernel's
+    ``events_processed`` counter can be read per run — the events/sec
+    denominator.  Event counts are deterministic, so they also stand for
+    the parallel leg's work.
+    """
+    metrics, events = [], 0
+    start = time.perf_counter()
+    for request in requests:
+        m, system = run_workload(
+            request.workload,
+            request.setting(),
+            scale=request.scale,
+            config=request.config,
+            seed=request.seed,
+            limit=request.limit,
+            return_system=True,
+        )
+        metrics.append(m)
+        events += system.env.events_processed
+    return metrics, time.perf_counter() - start, events
+
+
+def measure_parallel(requests: Sequence[RunRequest], jobs: int):
+    """Parallel leg: metrics and wall seconds (pool startup included)."""
+    start = time.perf_counter()
+    metrics = run_requests(requests, jobs=jobs)
+    return metrics, time.perf_counter() - start
+
+
+def run_benchmark(
+    workloads: Optional[Sequence[str]] = None,
+    settings: Optional[Sequence[str]] = None,
+    scale: float = 0.25,
+    seed: int = 0xC0FFEE,
+    jobs: int = 0,
+) -> Dict:
+    """Measure both legs and return the BENCH_parallel.json document."""
+    workloads = list(workloads or workload_names())
+    settings = list(settings or FIG8_SETTINGS)
+    effective_jobs = resolve_jobs(jobs)
+    requests = build_requests(workloads, settings, scale, seed)
+
+    serial_metrics, serial_wall, events = measure_serial(requests)
+    parallel_metrics, parallel_wall = measure_parallel(requests, jobs=jobs)
+
+    identical = [dataclasses.asdict(m) for m in serial_metrics] == [
+        dataclasses.asdict(m) for m in parallel_metrics
+    ]
+    return {
+        "name": "parallel-executor-wallclock",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "matrix": {
+            "workloads": workloads,
+            "settings": settings,
+            "scale": scale,
+            "seed": seed,
+            "runs": len(requests),
+        },
+        "serial": {
+            "wall_s": round(serial_wall, 4),
+            "kernel_events": events,
+            "events_per_s": round(events / serial_wall) if serial_wall else None,
+        },
+        "parallel": {
+            "jobs": effective_jobs,
+            "wall_s": round(parallel_wall, 4),
+            "events_per_s": (
+                round(events / parallel_wall) if parallel_wall else None
+            ),
+        },
+        "speedup": round(serial_wall / parallel_wall, 3) if parallel_wall else None,
+        "identical": identical,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serial vs parallel wall-clock benchmark "
+                    "(record-only timings + equality check)"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small matrix for CI smoke runs")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="parallel-leg worker count (0 = all cores)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="message-count scale (default 0.25, quick 0.05)")
+    parser.add_argument("--seed", type=lambda v: int(v, 0), default=0xC0FFEE)
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the JSON document here "
+                             "(e.g. BENCH_parallel.json)")
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(
+        workloads=QUICK_WORKLOADS if args.quick else None,
+        settings=QUICK_SETTINGS if args.quick else None,
+        scale=args.scale if args.scale is not None else (
+            QUICK_SCALE if args.quick else 0.25
+        ),
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+
+    document = json.dumps(result, indent=2, sort_keys=True)
+    print(document)
+    if args.out:
+        Path(args.out).write_text(document + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if not result["identical"]:
+        print("FAIL: parallel metrics differ from serial metrics",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
