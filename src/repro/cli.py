@@ -148,6 +148,9 @@ def cmd_run(args) -> None:
         ["push attempts", m.push_attempts],
         ["push failures", f"{m.push_failures} ({m.failure_rate:.1%})"],
         ["speculative pushes", m.spec_pushes],
+        ["push precision", f"{m.push_precision:.1%}"],
+        ["push recall", f"{m.push_recall:.1%}"],
+        ["wasted push bytes", m.wasted_push_bytes],
         ["bus utilization", f"{m.bus_utilization:.1%}"],
         ["avg line empty cycles", f"{m.avg_line_empty:.0f}"],
     ]
@@ -169,6 +172,46 @@ def cmd_run(args) -> None:
         print()
         print("per-stage transaction latency histograms (cycles)")
         print(hist.render())
+
+
+def cmd_obs(args) -> None:
+    """Fully-observed runs: Perfetto trace, metrics JSON, accuracy summary."""
+    from repro.obs.runner import (
+        ObsRequest,
+        SMOKE_SCALE,
+        run_obs,
+        smoke_requests,
+    )
+
+    scale = args.scale if args.scale is not None else SMOKE_SCALE
+    if args.workload == "smoke":
+        requests = smoke_requests(scale=scale, seed=args.seed)
+    else:
+        requests = [
+            ObsRequest(args.workload, args.setting, scale=scale,
+                       seed=args.seed, pid_base=0)
+        ]
+    result = run_obs(requests, jobs=getattr(args, "jobs", None))
+
+    wrote = False
+    if args.trace:
+        with open(args.trace, "w") as fh:
+            fh.write(result.trace_json())
+        print(f"wrote Perfetto trace to {args.trace} "
+              f"(load at https://ui.perfetto.dev)")
+        wrote = True
+    if args.metrics:
+        with open(args.metrics, "w") as fh:
+            fh.write(result.metrics_json())
+        print(f"wrote metrics to {args.metrics}")
+        wrote = True
+    if args.jsonl:
+        with open(args.jsonl, "w") as fh:
+            fh.write(result.jsonl())
+        print(f"wrote JSONL event stream to {args.jsonl}")
+        wrote = True
+    if args.summary or not wrote:
+        print(result.summary())
 
 
 def cmd_area(_args) -> None:
@@ -319,6 +362,29 @@ def build_parser() -> argparse.ArgumentParser:
                         "lifecycle legality); the run fails on any "
                         "semantic violation")
     p.set_defaults(fn=cmd_run)
+    p = jobs(sub.add_parser(
+        "obs",
+        help="observability: Perfetto trace, metrics JSON, accuracy summary"))
+    p.add_argument("workload", nargs="?", default="smoke",
+                   choices=["smoke"] + workload_names(),
+                   help="a workload, or 'smoke' for the fig8 smoke matrix "
+                        "(ping-pong/incast x vl/tuned)")
+    p.add_argument("--setting", choices=_setting_names(), default="tuned",
+                   help="setting for single-workload runs (ignored by smoke)")
+    p.add_argument("--scale", type=float, default=None,
+                   help="message-count scale factor (default: 0.05, the "
+                        "smoke-matrix scale)")
+    p.add_argument("--seed", type=lambda v: int(v, 0), default=0xC0FFEE)
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="write Chrome/Perfetto trace_event JSON here")
+    p.add_argument("--metrics", metavar="FILE", default=None,
+                   help="write the metrics-registry snapshot JSON here")
+    p.add_argument("--jsonl", metavar="FILE", default=None,
+                   help="write the compact JSONL event stream here")
+    p.add_argument("--summary", action="store_true",
+                   help="print the speculation-accuracy and stage-latency "
+                        "tables (default when no output file is given)")
+    p.set_defaults(fn=cmd_obs)
     sub.add_parser("area", help="Section 4.5 area").set_defaults(fn=cmd_area)
     sub.add_parser("power", help="Section 4.5 power").set_defaults(fn=cmd_power)
     common(sub.add_parser("inline", help="Section 3.4 inlining")).set_defaults(

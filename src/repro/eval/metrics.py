@@ -83,6 +83,32 @@ class RunMetrics:
         return ENERGY_PER_PUSH * self.push_attempts
 
     @property
+    def spec_hits(self) -> int:
+        """Speculative pushes that landed on an EMPTY line."""
+        return self.spec_pushes - self.spec_failures
+
+    @property
+    def push_precision(self) -> float:
+        """Of the speculative pushes sent, the fraction that landed."""
+        return self.spec_hits / self.spec_pushes if self.spec_pushes else 0.0
+
+    @property
+    def push_recall(self) -> float:
+        """Of the messages delivered, the fraction that arrived
+        speculatively (the rest waited on an on-demand request)."""
+        if not self.messages_delivered:
+            return 0.0
+        return min(1.0, self.spec_hits / self.messages_delivered)
+
+    @property
+    def wasted_push_bytes(self) -> int:
+        """Bus bytes burned by failed speculative pushes (one thrown-away
+        cacheline per miss)."""
+        from repro.units import CACHELINE_BYTES
+
+        return self.spec_failures * CACHELINE_BYTES
+
+    @property
     def push_frequency(self) -> float:
         """Push attempts per cycle — the Section 4.5 power multiplier."""
         return self.push_attempts / self.exec_cycles if self.exec_cycles else 0.0

@@ -70,3 +70,53 @@ def format_trace_rows(transactions, start: int, end: int) -> str:
 def dict_table(title: str, data: Dict[str, object]) -> str:
     """Two-column key/value table (Table 1 style)."""
     return format_table(["field", "value"], list(data.items()), title=title)
+
+
+def format_accuracy_table(accuracies: Iterable[object]) -> str:
+    """Push precision/recall table, one row per workload × setting.
+
+    Accepts :class:`~repro.obs.accuracy.SpeculationAccuracy` objects or the
+    plain dicts :meth:`~repro.obs.accuracy.SpeculationAccuracy.as_dict`
+    exports (the obs runner hands cells across process boundaries as
+    dicts).
+    """
+    rows = []
+    for acc in accuracies:
+        data = acc.as_dict() if hasattr(acc, "as_dict") else acc
+        rows.append(
+            [
+                data["workload"],
+                data["setting"],
+                data["spec_pushes"],
+                data["spec_hits"],
+                format_pct(data["precision"]),
+                format_pct(data["recall"]),
+                data["wasted_push_bytes"],
+            ]
+        )
+    return format_table(
+        [
+            "workload", "setting", "spec pushes", "hits",
+            "precision", "recall", "wasted bytes",
+        ],
+        rows,
+        title="speculation accuracy",
+    )
+
+
+def format_stage_table(title: str, stage_latency: Dict[str, Dict[str, float]]) -> str:
+    """Stage-latency percentile table keyed by lifecycle edge."""
+    rows = [
+        [
+            edge,
+            int(row["count"]),
+            f"{row['mean']:.1f}",
+            f"{row.get('p50', 0.0):.0f}",
+            f"{row.get('p90', 0.0):.0f}",
+            f"{row.get('p99', 0.0):.0f}",
+        ]
+        for edge, row in sorted(stage_latency.items())
+    ]
+    return format_table(
+        ["stage", "n", "mean", "p50", "p90", "p99"], rows, title=title
+    )

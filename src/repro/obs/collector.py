@@ -1,0 +1,151 @@
+"""HookBus → MetricsRegistry bridge.
+
+A :class:`MetricsCollector` subscribes to every instrumentation event the
+simulator publishes and folds each into the registry's counters and
+windowed histograms — transaction stage durations, specBuf hit/miss,
+per-algorithm push-delay decisions, cacheline fill/vacate churn, network
+occupancy, semantic push/delivery counts.  It is a plain
+:class:`~repro.sim.hooks.HookBus` subscriber: attaching one never changes
+a run's tick sequence, and with no collector attached the publishers'
+``wants()`` guards keep the hot path free.
+
+:func:`finalize_system` complements the streaming collector with the
+run-boundary numbers that need no per-event work at all: kernel event
+totals, network busy cycles/utilization, and consumer-line occupancy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.hooks import (
+    BusHook,
+    DeliveryHook,
+    HookBus,
+    LineHook,
+    PushHook,
+    SpecBufHook,
+    SpecDecisionHook,
+    TransactionHook,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system import System
+
+
+class MetricsCollector:
+    """Subscribe a registry to every bus event family.
+
+    Metric names form a stable dotted catalogue (docs/OBSERVABILITY.md):
+
+    ``txn.stage.<edge>``            histogram of per-stage cycles
+    ``txn.latency``                 end-to-end message latency histogram
+    ``txn.retries``                 stash attempts beyond the first
+    ``spec.hits`` / ``spec.misses`` specBuf response outcomes
+    ``spec.decision.<algo>``        push-delay histogram per algorithm
+    ``spec.retry.<algo>``           sticky-slot retry count per algorithm
+    ``spec.refused.<algo>``         retries the algorithm refused
+    ``bus.packets.<kind>``          accepted network packets per class
+    ``line.fill``/``line.vacate``/``line.failed-fill``  cacheline churn
+    ``push.messages`` / ``delivery.messages``  semantic send/receive
+    """
+
+    def __init__(self, bus: HookBus, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._subs = [
+            bus.subscribe(TransactionHook, self._on_transaction),
+            bus.subscribe(SpecBufHook, self._on_specbuf),
+            bus.subscribe(SpecDecisionHook, self._on_decision),
+            bus.subscribe(BusHook, self._on_bus),
+            bus.subscribe(LineHook, self._on_line),
+            bus.subscribe(PushHook, self._on_push),
+            bus.subscribe(DeliveryHook, self._on_delivery),
+        ]
+        self._bus = bus
+
+    def detach(self) -> None:
+        for sub in self._subs:
+            self._bus.unsubscribe(sub)
+        self._subs = []
+
+    # -------------------------------------------------------------- handlers
+    def _on_transaction(self, event: TransactionHook) -> None:
+        reg = self.registry
+        record = event.record
+        if record is None or len(record.stamps) < 2:
+            return
+        prev, last = record.stamps[-2], record.stamps[-1]
+        reg.observe(
+            f"txn.stage.{prev.state.value}->{last.state.value}",
+            last.tick - prev.tick,
+        )
+        if record.retired and record.kind == "message":
+            latency = record.latency
+            if latency is not None:
+                reg.observe("txn.latency", latency)
+            extra = record.attempts - 1
+            if extra > 0:
+                reg.inc("txn.retries", extra)
+
+    def _on_specbuf(self, event: SpecBufHook) -> None:
+        self.registry.inc("spec.hits" if event.hit else "spec.misses")
+
+    def _on_decision(self, event: SpecDecisionHook) -> None:
+        reg = self.registry
+        if event.delay < 0:
+            reg.inc(f"spec.refused.{event.algorithm}")
+            return
+        reg.observe(f"spec.decision.{event.algorithm}", event.delay)
+        if event.retry:
+            reg.inc(f"spec.retry.{event.algorithm}")
+
+    def _on_bus(self, event: BusHook) -> None:
+        self.registry.inc(f"bus.packets.{event.kind}")
+
+    def _on_line(self, event: LineHook) -> None:
+        self.registry.inc(f"line.{event.transition}")
+
+    def _on_push(self, event: PushHook) -> None:
+        self.registry.inc("push.messages")
+
+    def _on_delivery(self, event: DeliveryHook) -> None:
+        self.registry.inc("delivery.messages")
+
+
+def finalize_system(system: "System", registry: MetricsRegistry) -> None:
+    """Record the run-boundary gauges that cost nothing during the run.
+
+    Called once after the simulation completes; reads counters the kernel,
+    network and library maintain anyway, so the metrics-off overhead of
+    these numbers is exactly zero.
+    """
+    env = system.env
+    registry.gauge_set("kernel.sim_time", float(env.now))
+    registry.gauge_set("kernel.events.dispatched", float(env.events_processed))
+    registry.gauge_set("kernel.events.scheduled", float(env.events_scheduled))
+    registry.gauge_set("kernel.queue_length", float(env.queue_length))
+    registry.gauge_set("bus.busy_cycles", float(system.network.busy_cycles))
+    registry.gauge_set(
+        "bus.utilization", round(system.network.utilization(), 6)
+    )
+    for kind, count in sorted(system.network.counters.as_dict().items()):
+        registry.gauge_set(f"bus.accepted.{kind}", float(count))
+    empty, valid = system.consumer_line_cycles()
+    registry.gauge_set("line.avg_empty_cycles", round(empty, 6))
+    registry.gauge_set("line.avg_valid_cycles", round(valid, 6))
+    registry.gauge_set(
+        "library.messages_produced", float(system.messages_produced())
+    )
+    registry.gauge_set(
+        "library.messages_delivered", float(system.messages_delivered())
+    )
+    for key, value in sorted(system.aggregate_device_stats().as_dict().items()):
+        registry.gauge_set(f"device.{key}", float(value))
+
+
+def attach_collector(
+    system: "System", registry: Optional[MetricsRegistry] = None
+) -> MetricsCollector:
+    """Convenience: wire a collector onto a system's hook bus."""
+    return MetricsCollector(system.hooks, registry or MetricsRegistry())

@@ -72,6 +72,25 @@ class SpecBufHook(HookEvent):
 
 
 @dataclass(frozen=True)
+class SpecDecisionHook(HookEvent):
+    """A delay algorithm decided when (or whether) to push speculatively.
+
+    Published by the speculation policy at selection and at sticky-slot
+    retry time, before the push travels the network — the moment the
+    per-algorithm delay decision is made.  ``delay`` is ``send_tick - now``
+    (0 = push immediately); ``retry`` distinguishes a first-chance
+    selection from a post-miss retry of the same ring slot.  A refused
+    retry (``NeverPush``/backoff gave up) is published with ``delay=-1``.
+    """
+
+    sqi: int = 0
+    entry_index: int = 0
+    algorithm: str = ""
+    delay: int = 0
+    retry: bool = False
+
+
+@dataclass(frozen=True)
 class BusHook(HookEvent):
     """A packet was accepted onto the coherence network."""
 

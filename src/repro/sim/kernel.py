@@ -74,6 +74,23 @@ class Environment:
         return self._processed
 
     @property
+    def events_scheduled(self) -> int:
+        """Total heap entries ever enqueued (scheduled ≥ processed; the
+        difference is the current queue backlog plus cancelled entries).
+
+        Kernel observability is boundary-only by design: the registry
+        reads these counters after the run (obs.collector.finalize_system)
+        instead of adding even a None-check to the per-event dispatch loop,
+        so metrics-off and metrics-on runs execute identical hot paths.
+        """
+        return self._seq
+
+    @property
+    def queue_length(self) -> int:
+        """Pending heap entries right now."""
+        return len(self._queue)
+
+    @property
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed (None outside process code)."""
         return self._active_process

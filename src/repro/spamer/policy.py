@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Optional, TYPE_CHECKING
 
 from repro.errors import RegistrationError
-from repro.sim.hooks import HookBus, SpecBufHook
+from repro.sim.hooks import HookBus, SpecBufHook, SpecDecisionHook
 from repro.vlink.linktab import LinkRow, LinkTab
 from repro.vlink.packets import ProdEntry
 from repro.vlink.pipeline import SpecTarget, SpeculationPolicy
@@ -89,6 +89,16 @@ class SpecBufSpeculation(SpeculationPolicy):
                 if tick is not None:
                     cursor.on_fly = True
                     row.spec_head = cursor.next_index
+                    if self.hooks.wants(SpecDecisionHook):
+                        self.hooks.publish(
+                            SpecDecisionHook(
+                                tick=now,
+                                sqi=entry.sqi,
+                                entry_index=cursor.index,
+                                algorithm=self.algorithm.name,
+                                delay=max(tick, now) - now,
+                            )
+                        )
                     return SpecTarget(cursor.target_line, cursor.index, max(tick, now))
             cursor = self.specbuf.entry(cursor.next_index)
             if cursor is start:
@@ -125,6 +135,17 @@ class SpecBufSpeculation(SpeculationPolicy):
         assert entry.spec_entry_index is not None
         spec_entry = self.specbuf.entry(entry.spec_entry_index)
         tick = self.algorithm.send_tick(spec_entry, now)
+        if self.hooks.wants(SpecDecisionHook):
+            self.hooks.publish(
+                SpecDecisionHook(
+                    tick=now,
+                    sqi=entry.sqi,
+                    entry_index=spec_entry.index,
+                    algorithm=self.algorithm.name,
+                    delay=-1 if tick is None else max(tick, now) - now,
+                    retry=True,
+                )
+            )
         if tick is None:
             # The algorithm refuses to retry: release the claim and let the
             # device park the packet on the buffering queue instead.

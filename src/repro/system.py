@@ -29,7 +29,7 @@ the main entry point of the public API::
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Union
+from typing import Callable, List, Optional, TYPE_CHECKING, Union
 
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.cpu.core import Core
@@ -48,6 +48,9 @@ from repro.spamer.security import SecurityPolicy
 from repro.vlink.library import QueueLibrary
 from repro.vlink.vlrd import VirtualLinkRoutingDevice
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
 
 class System:
     """A simulated multi-core machine with a hardware message queue."""
@@ -61,6 +64,7 @@ class System:
         seed: int = 0xC0FFEE,
         security: Optional[SecurityPolicy] = None,
         hooks: Optional[HookBus] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.config = config or DEFAULT_CONFIG
         self.env = Environment()
@@ -109,6 +113,15 @@ class System:
         from repro.sim.stats import RunningStats
 
         self.latency_stats = RunningStats(keep_samples=True)
+        #: Optional observability registry (None = fully disabled; the hook
+        #: publishers' ``wants()`` guards then skip all instrumentation).
+        #: When set, a MetricsCollector subscribes before any event fires
+        #: and run_to_completion() records the run-boundary gauges.
+        self.metrics = metrics
+        if metrics is not None and getattr(metrics, "enabled", True):
+            from repro.obs.collector import MetricsCollector
+
+            MetricsCollector(self.hooks, metrics)
 
     # ------------------------------------------------------------------ wiring
     @property
@@ -158,6 +171,10 @@ class System:
         """
         join = self.env.all_of(self._threads)
         self.env.run_until_complete(join, limit=limit)
+        if self.metrics is not None and getattr(self.metrics, "enabled", True):
+            from repro.obs.collector import finalize_system
+
+            finalize_system(self, self.metrics)
         return self.env.now
 
     def run(self, until: Optional[int] = None) -> int:

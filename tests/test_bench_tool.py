@@ -1,0 +1,121 @@
+"""Unit tests for tools/bench.py — the events/sec measurement fix.
+
+The parallel leg's wall time must cover the simulation work only: the
+worker pool is created and warmed *before* the clock starts.  A fake clock
+that is advanced by a fake pool's spawn/submit operations proves the spawn
+cost stays outside the timed region — the regression that motivated the
+fix (pool spawn dominating small CI matrices and deflating events/sec).
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "tools" / "bench.py"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench_tool", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class FakeClock:
+    """Manually-advanced perf_counter stand-in."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class FakeFuture:
+    def __init__(self, value):
+        self._value = value
+
+    def result(self):
+        return self._value
+
+
+class FakePool:
+    """Pool whose *construction* costs 100 fake seconds (the spawn) and
+    whose submits cost 1 each — so the timed region is measurable exactly."""
+
+    def __init__(self, clock: FakeClock, spawn_cost: float = 100.0) -> None:
+        self.clock = clock
+        self.submitted = []
+        clock.advance(spawn_cost)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def submit(self, fn, *args):
+        self.clock.advance(1.0)
+        self.submitted.append((fn, args))
+        return FakeFuture(f"ran:{args[0] if args else ''}")
+
+
+def test_measure_parallel_excludes_pool_spawn(bench):
+    clock = FakeClock()
+    pools = []
+
+    def pool_factory():
+        pool = FakePool(clock, spawn_cost=100.0)
+        pools.append(pool)
+        return pool
+
+    requests = ["r0", "r1", "r2"]
+    metrics, wall = bench.measure_parallel(
+        requests, jobs=2, clock=clock, pool_factory=pool_factory
+    )
+    # Timed region = the three real submits only: neither the 100s spawn
+    # nor the two warm-up submits may leak into the wall time.
+    assert wall == pytest.approx(3.0)
+    assert metrics == ["ran:r0", "ran:r1", "ran:r2"]
+    (pool,) = pools
+    warmups = [s for s in pool.submitted if s[0] is bench._warm_worker]
+    assert len(warmups) == 2  # one per worker, all before the clock started
+    assert pool.submitted[:2] == warmups
+
+
+def test_measure_parallel_empty_requests(bench):
+    metrics, wall = bench.measure_parallel([], jobs=4)
+    assert metrics == [] and wall >= 0.0
+
+
+def test_measure_serial_counts_kernel_events(bench):
+    requests = bench.build_requests(["ping-pong"], ["tuned"], 0.02, 0xC0FFEE)
+    metrics, wall, events = bench.measure_serial(requests)
+    assert len(metrics) == 1
+    assert events > 0 and wall > 0.0
+    assert metrics[0].exec_cycles > 0
+
+
+def test_obs_overhead_gate_document(bench):
+    """Gate structure with a deterministic fake clock (each leg reads the
+    clock twice, so every leg measures exactly 0.5 fake seconds and both
+    overheads are 0%)."""
+    clock = FakeClock()
+
+    def reading():
+        clock.advance(0.5)
+        return clock.t
+
+    result = bench.measure_obs_overhead(
+        repeats=1, scale=0.01, threshold_pct=3.0, clock=reading
+    )
+    assert result["name"] == "obs-overhead-gate"
+    assert result["off_s"] == result["null_s"] == result["on_s"] == 0.5
+    assert result["overhead_disabled_pct"] == 0.0
+    assert result["pass"] is True
+    assert result["matrix"]["repeats"] == 1

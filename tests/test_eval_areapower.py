@@ -1,0 +1,77 @@
+"""Tests for the Section 4.5 area/power arithmetic (eval/areapower.py)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.eval.areapower import (
+    SRD_BUFFER_AREA_MM2,
+    SRD_TOTAL_AREA_MM2,
+    VL_DYNAMIC_POWER_MW,
+    VL_LEAKAGE_POWER_MW,
+    estimate_power,
+    estimate_srd_area,
+    estimate_vlrd_area,
+    paper_power_bounds,
+)
+
+
+def test_default_geometry_reproduces_paper_buffer_area():
+    """Calibration anchor: 64-entry geometry -> 0.156 mm² of buffers,
+    0.170 mm² overall (Section 4.5)."""
+    est = estimate_srd_area()
+    assert est.buffer_total_mm2 == pytest.approx(SRD_BUFFER_AREA_MM2)
+    assert est.total_mm2 == pytest.approx(SRD_TOTAL_AREA_MM2)
+    assert set(est.buffers_mm2) == {"prodBuf", "consBuf", "linkTab", "specBuf"}
+
+
+def test_srd_within_15_percent_of_vlrd():
+    srd = estimate_srd_area()
+    vlrd = estimate_vlrd_area()
+    assert "specBuf" not in vlrd.buffers_mm2
+    assert vlrd.total_mm2 < srd.total_mm2
+    assert srd.total_mm2 / vlrd.total_mm2 <= 1.15
+
+
+def test_srd_under_one_percent_of_soc():
+    assert estimate_srd_area().share_of_soc(num_cores=16) < 0.01
+
+
+def test_area_scales_with_buffer_geometry():
+    small = estimate_srd_area(SystemConfig(specbuf_entries=32))
+    large = estimate_srd_area(SystemConfig(specbuf_entries=128))
+    assert large.buffers_mm2["specBuf"] == pytest.approx(
+        4 * small.buffers_mm2["specBuf"]
+    )
+    # control logic is geometry-independent
+    assert large.control_mm2 == small.control_mm2
+
+
+def test_tuned_latches_add_specbuf_area():
+    base = estimate_srd_area()
+    tuned = estimate_srd_area(include_tuned_latches=True)
+    assert tuned.buffers_mm2["specBuf"] > base.buffers_mm2["specBuf"]
+    for name in ("prodBuf", "consBuf", "linkTab"):
+        assert tuned.buffers_mm2[name] == base.buffers_mm2[name]
+
+
+def test_power_baseline_matches_vl():
+    p = estimate_power(1.0)
+    assert p.dynamic_mw == pytest.approx(VL_DYNAMIC_POWER_MW)
+    assert p.leakage_mw == pytest.approx(VL_LEAKAGE_POWER_MW)
+    assert p.total_mw == pytest.approx(VL_DYNAMIC_POWER_MW + VL_LEAKAGE_POWER_MW)
+
+
+def test_power_rejects_negative_ratio():
+    with pytest.raises(ConfigError):
+        estimate_power(-0.5)
+
+
+def test_paper_power_bounds():
+    """Tuned worst case: 9.33 * 5.03 + 0.82 ≈ 47.75 mW, ~0.23% of a 21 W SoC."""
+    bounds = paper_power_bounds()
+    assert set(bounds) == {"VL(baseline)", "SPAMeR(adapt)", "SPAMeR(tuned)"}
+    tuned = bounds["SPAMeR(tuned)"]
+    assert tuned.total_mw == pytest.approx(47.75, abs=0.05)
+    assert tuned.share_of_soc() == pytest.approx(0.00227, abs=0.0002)
+    assert bounds["SPAMeR(adapt)"].total_mw < tuned.total_mw

@@ -1,0 +1,60 @@
+"""Tests for the tuned-parameter search (eval/autotune.py)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval.autotune import SEARCH_SPACE, autotune
+from repro.spamer.delay import TunedParams
+
+SCALE = 0.05
+SEED = 0xC0FFEE
+
+
+def test_autotune_rejects_bad_budgets():
+    with pytest.raises(ConfigError):
+        autotune("ping-pong", max_evaluations=0)
+    with pytest.raises(ConfigError):
+        autotune("ping-pong", max_rounds=0)
+
+
+def test_search_space_is_centred_on_paper_defaults():
+    paper = TunedParams()
+    for coord, values in SEARCH_SPACE.items():
+        assert getattr(paper, coord) in values
+
+
+def test_autotune_memoizes_the_starting_point():
+    """current == paper's set, so the second evaluate() is a cache hit —
+    one simulation covers both, and the exhausted budget stops the sweep."""
+    result = autotune("ping-pong", scale=SCALE, seed=SEED, max_evaluations=1)
+    assert result.evaluations == 1
+    assert result.best_params == TunedParams()
+    assert result.best_score == pytest.approx(result.paper_score)
+    assert result.improvement_over_paper == pytest.approx(1.0)
+
+
+def test_autotune_never_returns_worse_than_paper():
+    result = autotune(
+        "ping-pong", scale=SCALE, seed=SEED, max_evaluations=6, max_rounds=1
+    )
+    assert result.evaluations <= 6
+    assert result.best_score <= result.paper_score + 1e-9
+    assert result.improvement_over_paper >= 1.0 - 1e-9
+    assert result.baseline_cycles > 0
+    assert result.best_metrics.exec_cycles > 0
+    assert result.workload == "ping-pong"
+
+
+def test_autotune_honours_a_custom_start():
+    start = TunedParams(zeta=128)
+    result = autotune(
+        "ping-pong",
+        scale=SCALE,
+        seed=SEED,
+        start=start,
+        max_evaluations=2,
+        max_rounds=1,
+    )
+    # Budget covers exactly start + paper reference; no sweep improvements.
+    assert result.evaluations == 2
+    assert result.best_params in (start, TunedParams())

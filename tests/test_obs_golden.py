@@ -1,0 +1,66 @@
+"""Golden-trace determinism: the obs documents are byte-stable.
+
+Three guarantees, per ISSUE 4's acceptance criteria:
+
+* the committed fixture (``tests/golden/obs_trace_pingpong.json``) pins the
+  exact bytes of a small two-cell trace — any drift in event content,
+  ordering, or serialization fails loudly;
+* the fig8 smoke matrix exports byte-identical trace/metrics/JSONL
+  documents for ``--jobs 1`` and ``--jobs 4`` (submission-order merge);
+* two invocations of the same request list produce the same bytes
+  (no wall-clock, PID, or dict-order leakage).
+"""
+
+from pathlib import Path
+
+from repro.obs.runner import (
+    ObsRequest,
+    PID_BLOCK,
+    run_obs,
+    smoke_requests,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "obs_trace_pingpong.json"
+
+#: The fixture's request list. Regenerate the fixture after an intentional
+#: format change with::
+#:
+#:     PYTHONPATH=src python -c "from tests.test_obs_golden import regenerate; regenerate()"
+GOLDEN_REQUESTS = (
+    ObsRequest("ping-pong", "vl", scale=0.01, seed=0xC0FFEE, pid_base=0),
+    ObsRequest("ping-pong", "tuned", scale=0.01, seed=0xC0FFEE,
+               pid_base=PID_BLOCK),
+)
+
+#: Scale for the in-memory smoke-matrix comparison: big enough to exercise
+#: retries and both devices, small enough for CI.
+SMOKE_COMPARE_SCALE = 0.02
+
+
+def regenerate() -> None:
+    """Rewrite the golden fixture (only after an intentional change)."""
+    text = run_obs(list(GOLDEN_REQUESTS), jobs=1).trace_json()
+    GOLDEN.write_text(text + "\n")
+
+
+def test_trace_matches_committed_golden_bytes():
+    result = run_obs(list(GOLDEN_REQUESTS), jobs=1)
+    assert result.trace_json() + "\n" == GOLDEN.read_text()
+
+
+def test_smoke_matrix_is_jobs_invariant():
+    requests = smoke_requests(scale=SMOKE_COMPARE_SCALE)
+    serial = run_obs(requests, jobs=1)
+    parallel = run_obs(requests, jobs=4)
+    assert serial.trace_json() == parallel.trace_json()
+    assert serial.metrics_json() == parallel.metrics_json()
+    assert serial.jsonl() == parallel.jsonl()
+
+
+def test_repeat_invocations_are_byte_identical():
+    requests = smoke_requests(scale=SMOKE_COMPARE_SCALE)
+    first = run_obs(requests, jobs=1)
+    second = run_obs(requests, jobs=1)
+    assert first.trace_json() == second.trace_json()
+    assert first.metrics_json() == second.metrics_json()
+    assert first.jsonl() == second.jsonl()

@@ -53,3 +53,35 @@ def test_format_trace_rows_window_filter():
                       first_use=90)
     out = format_trace_rows([txn], 100, 200)
     assert out.count("\n") == 0  # header only
+
+
+def test_format_accuracy_table_accepts_objects_and_dicts():
+    from repro.eval.report import format_accuracy_table
+    from repro.obs.accuracy import SpeculationAccuracy
+
+    obj = SpeculationAccuracy("ping-pong", "tuned", 10, 8, 10, 128)
+    out = format_accuracy_table([obj, obj.as_dict()])
+    lines = out.splitlines()
+    assert lines[0] == "speculation accuracy"
+    assert out.count("ping-pong") == 2
+    assert "80.0%" in out and "128" in out
+
+
+def test_format_stage_table_orders_edges():
+    from repro.eval.report import format_stage_table
+
+    out = format_stage_table(
+        "stages",
+        {
+            "pushed->mapped": {"count": 2.0, "mean": 5.5, "p50": 5.0,
+                               "p90": 6.0, "p99": 6.0},
+            "created->pushed": {"count": 2.0, "mean": 1.0, "p50": 1.0,
+                                "p90": 1.0, "p99": 1.0},
+        },
+    )
+    lines = out.splitlines()
+    assert lines[0] == "stages"
+    assert lines.index(
+        next(l for l in lines if "created->pushed" in l)
+    ) < lines.index(next(l for l in lines if "pushed->mapped" in l))
+    assert "5.5" in out

@@ -1,0 +1,79 @@
+"""Tests for the speculation security controls (spamer/security.py)."""
+
+import pytest
+
+from repro.errors import RegistrationError
+from repro.mem.address import Segment
+from repro.spamer.security import SecurityPolicy
+from repro.vlink.endpoint import ConsumerEndpoint
+
+
+def make_endpoint(env, endpoint_id=0, sqi=1, core_id=0):
+    return ConsumerEndpoint(
+        env, endpoint_id, sqi, Segment(0x1000, 4096), core_id, 4, spec_enabled=True
+    )
+
+
+def test_negative_quota_rejected():
+    with pytest.raises(RegistrationError):
+        SecurityPolicy(max_entries_per_core=-1)
+
+
+def test_speculation_allowed_by_default(env):
+    policy = SecurityPolicy()
+    assert policy.speculation_allowed(make_endpoint(env))
+
+
+def test_sqi_kill_switch(env):
+    policy = SecurityPolicy()
+    ep = make_endpoint(env, sqi=3)
+    policy.disable_sqi(3)
+    assert not policy.speculation_allowed(ep)
+    assert policy.speculation_allowed(make_endpoint(env, sqi=4))
+    policy.enable_sqi(3)
+    assert policy.speculation_allowed(ep)
+    policy.enable_sqi(3)  # idempotent on an already-enabled SQI
+
+
+def test_endpoint_kill_switch(env):
+    policy = SecurityPolicy()
+    ep = make_endpoint(env, endpoint_id=7)
+    policy.disable_endpoint(7)
+    assert not policy.speculation_allowed(ep)
+    assert policy.speculation_allowed(make_endpoint(env, endpoint_id=8))
+    policy.enable_endpoint(7)
+    assert policy.speculation_allowed(ep)
+
+
+def test_registration_refused_on_disabled_sqi(env):
+    policy = SecurityPolicy()
+    policy.disable_sqi(1)
+    with pytest.raises(RegistrationError, match="SQI 1"):
+        policy.check_registration(make_endpoint(env, sqi=1))
+    assert policy.registered_by(0) == 0  # refusal does not consume quota
+
+
+def test_per_core_quota(env):
+    policy = SecurityPolicy(max_entries_per_core=2)
+    policy.check_registration(make_endpoint(env, core_id=0))
+    policy.check_registration(make_endpoint(env, core_id=0))
+    with pytest.raises(RegistrationError, match="quota"):
+        policy.check_registration(make_endpoint(env, core_id=0))
+    # other cores have their own budget
+    policy.check_registration(make_endpoint(env, core_id=1))
+    assert policy.registered_by(0) == 2
+    assert policy.registered_by(1) == 1
+    assert policy.registered_by(9) == 0
+
+
+def test_zero_quota_rejects_everything(env):
+    policy = SecurityPolicy(max_entries_per_core=0)
+    with pytest.raises(RegistrationError):
+        policy.check_registration(make_endpoint(env))
+
+
+def test_unlimited_quota(env):
+    policy = SecurityPolicy()
+    for _ in range(100):
+        policy.check_registration(make_endpoint(env, core_id=0))
+    assert policy.registered_by(0) == 100

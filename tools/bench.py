@@ -36,7 +36,14 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from repro.eval.parallel import RunRequest, resolve_jobs, run_requests  # noqa: E402
+from repro.eval.parallel import (  # noqa: E402
+    RunRequest,
+    _check_picklable,
+    _mp_context,
+    execute_request,
+    resolve_jobs,
+    run_requests,
+)
 from repro.eval.runner import run_workload, setting_by_name  # noqa: E402
 from repro.workloads.registry import workload_names  # noqa: E402
 
@@ -64,7 +71,7 @@ def build_requests(
     ]
 
 
-def measure_serial(requests: Sequence[RunRequest]):
+def measure_serial(requests: Sequence[RunRequest], clock=time.perf_counter):
     """Serial leg: metrics, wall seconds, and total kernel events dispatched.
 
     Runs in-process with ``return_system=True`` so the kernel's
@@ -73,7 +80,7 @@ def measure_serial(requests: Sequence[RunRequest]):
     the parallel leg's work.
     """
     metrics, events = [], 0
-    start = time.perf_counter()
+    start = clock()
     for request in requests:
         m, system = run_workload(
             request.workload,
@@ -86,14 +93,140 @@ def measure_serial(requests: Sequence[RunRequest]):
         )
         metrics.append(m)
         events += system.env.events_processed
-    return metrics, time.perf_counter() - start, events
+    return metrics, clock() - start, events
 
 
-def measure_parallel(requests: Sequence[RunRequest], jobs: int):
-    """Parallel leg: metrics and wall seconds (pool startup included)."""
-    start = time.perf_counter()
-    metrics = run_requests(requests, jobs=jobs)
-    return metrics, time.perf_counter() - start
+def _warm_worker(token: int) -> int:
+    """No-op task submitted once per worker to force its spawn."""
+    return token
+
+
+def measure_parallel(
+    requests: Sequence[RunRequest],
+    jobs: int,
+    clock=time.perf_counter,
+    pool_factory=None,
+):
+    """Parallel leg: metrics and wall seconds for the *simulation work only*.
+
+    The pool is created and warmed (one no-op task per worker, so every
+    worker process exists) before the clock starts: an events/sec figure
+    that includes fork/spawn overhead understates throughput and shrinks
+    as the matrix shrinks, which is exactly the distortion a CI smoke
+    matrix maximizes.  *clock* and *pool_factory* are injectable for the
+    fake-clock unit test (tests/test_bench_tool.py).
+    """
+    requests = list(requests)
+    workers = min(resolve_jobs(jobs), len(requests)) if requests else 1
+    if workers <= 1 and pool_factory is None:
+        start = clock()
+        metrics = run_requests(requests, jobs=1)
+        return metrics, clock() - start
+    if pool_factory is None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        _check_picklable(requests)
+
+        def pool_factory():
+            return ProcessPoolExecutor(
+                max_workers=workers, mp_context=_mp_context()
+            )
+
+    with pool_factory() as pool:
+        # Warm-up outside the timed region: one submit per worker makes
+        # the executor spawn its full complement before the clock starts.
+        for future in [pool.submit(_warm_worker, i) for i in range(workers)]:
+            future.result()
+        start = clock()
+        futures = [pool.submit(execute_request, request) for request in requests]
+        metrics = [future.result() for future in futures]
+        wall = clock() - start
+    return metrics, wall
+
+
+def measure_obs_overhead(
+    repeats: int = 3,
+    scale: float = QUICK_SCALE,
+    seed: int = 0xC0FFEE,
+    threshold_pct: float = 3.0,
+    clock=time.perf_counter,
+) -> Dict:
+    """The observability overhead gate (docs/OBSERVABILITY.md).
+
+    Three serial legs over the quick matrix, best-of-*repeats* each:
+
+    * ``off``  — plain runs, no registry, no subscribers (the perf-smoke
+      path; every instrumentation site is behind a ``wants()``/``None``
+      guard).
+    * ``null`` — a :class:`~repro.obs.metrics.NullMetricsRegistry`
+      attached: the disabled-stub configuration.  Its overhead over
+      ``off`` is what the <3% gate bounds — the price of *having* the
+      observability layer while it is switched off.
+    * ``on``   — full MetricsRegistry + collector subscribed (recorded
+      for the docs, not gated: enabling observability may legitimately
+      cost more).
+
+    Best-of-N damps scheduler noise; the legs alternate nothing (each leg
+    finishes its repeats before the next starts) so turbo/thermal drift
+    biases against no particular leg systematically.
+    """
+    from repro.obs.collector import MetricsCollector
+    from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+
+    requests = build_requests(QUICK_WORKLOADS, QUICK_SETTINGS, scale, seed)
+
+    def leg(on_system) -> float:
+        best = None
+        for _ in range(max(1, repeats)):
+            start = clock()
+            for request in requests:
+                run_workload(
+                    request.workload,
+                    request.setting(),
+                    scale=request.scale,
+                    seed=request.seed,
+                    on_system=on_system,
+                )
+            wall = clock() - start
+            best = wall if best is None else min(best, wall)
+        return best
+
+    def attach_null(system) -> None:
+        system.metrics = NULL_METRICS
+
+    def attach_full(system) -> None:
+        registry = MetricsRegistry()
+        system.metrics = registry
+        MetricsCollector(system.hooks, registry)
+
+    # Untimed warmup pass: imports, registry resolution and allocator
+    # warm-up otherwise land entirely on the first leg.
+    for request in requests:
+        run_workload(request.workload, request.setting(),
+                     scale=request.scale, seed=request.seed)
+
+    off = leg(None)
+    null = leg(attach_null)
+    on = leg(attach_full)
+    overhead_null_pct = 100.0 * (null - off) / off if off else 0.0
+    overhead_on_pct = 100.0 * (on - off) / off if off else 0.0
+    return {
+        "name": "obs-overhead-gate",
+        "matrix": {
+            "workloads": list(QUICK_WORKLOADS),
+            "settings": list(QUICK_SETTINGS),
+            "scale": scale,
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "off_s": round(off, 4),
+        "null_s": round(null, 4),
+        "on_s": round(on, 4),
+        "overhead_disabled_pct": round(overhead_null_pct, 2),
+        "overhead_enabled_pct": round(overhead_on_pct, 2),
+        "threshold_pct": threshold_pct,
+        "pass": overhead_null_pct < threshold_pct,
+    }
 
 
 def run_benchmark(
@@ -162,7 +295,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--out", default=None, metavar="FILE",
                         help="write the JSON document here "
                              "(e.g. BENCH_parallel.json)")
+    parser.add_argument("--obs-gate", type=int, default=0, metavar="N",
+                        help="run the observability overhead gate instead "
+                             "(best-of-N legs; fails if the disabled-"
+                             "instrumentation overhead exceeds 3%%)")
     args = parser.parse_args(argv)
+
+    if args.obs_gate:
+        result = measure_obs_overhead(
+            repeats=args.obs_gate,
+            scale=args.scale if args.scale is not None else QUICK_SCALE,
+            seed=args.seed,
+        )
+        document = json.dumps(result, indent=2, sort_keys=True)
+        print(document)
+        if args.out:
+            Path(args.out).write_text(document + "\n")
+            print(f"wrote {args.out}", file=sys.stderr)
+        if not result["pass"]:
+            print(
+                f"FAIL: disabled-observability overhead "
+                f"{result['overhead_disabled_pct']}% exceeds "
+                f"{result['threshold_pct']}%",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
 
     result = run_benchmark(
         workloads=QUICK_WORKLOADS if args.quick else None,
