@@ -300,6 +300,31 @@ def cmd_batch(args) -> None:
         print(f"full report written to {args.out}")
 
 
+def cmd_scale(args) -> None:
+    """The interconnect scaling study: cores x topology x device."""
+    from repro.eval.scaling import scaling_experiment
+
+    cores = [int(v) for v in args.cores.split(",") if v.strip()]
+    topologies = [t.strip() for t in args.topology.split(",") if t.strip()]
+    settings = [s.strip() for s in args.settings.split(",") if s.strip()]
+    result = scaling_experiment(
+        cores=cores,
+        topologies=topologies,
+        settings=settings,
+        scale=args.scale,
+        seed=args.seed,
+        num_srds=args.srds,
+        verify=getattr(args, "verify", False),
+        jobs=getattr(args, "jobs", None),
+    )
+    print(result.render())
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(result.to_json())
+            fh.write("\n")
+        print(f"\nwrote JSON report to {args.out}")
+
+
 def cmd_list(_args) -> None:
     rows = [[n] for n in workload_names()]
     print(format_table(["benchmark"], rows, title="Table 2 workloads"))
@@ -400,6 +425,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("spec", help="path to the spec file (see repro.eval.batch)")
     p.add_argument("--out", default=None, help="write the JSON report here")
     p.set_defaults(fn=cmd_batch)
+    p = jobs(sub.add_parser(
+        "scale",
+        help="interconnect scaling study: cores x topology x device"))
+    p.add_argument("--cores", default="8,16,32,64", metavar="LIST",
+                   help="comma-separated core counts (default: 8,16,32,64)")
+    p.add_argument("--topology", default="single-bus,mesh", metavar="LIST",
+                   help="comma-separated topologies: single-bus, mesh, "
+                        "ring, crossbar (default: single-bus,mesh)")
+    p.add_argument("--settings", default="vl,tuned", metavar="LIST",
+                   help="comma-separated settings per cell (default: vl,tuned "
+                        "— one per stock device)")
+    p.add_argument("--srds", type=int, default=1,
+                   help="SRD shard count (queues partition across shards)")
+    p.add_argument("--scale", type=float, default=0.1,
+                   help="message-count scale factor (default: 0.1 — keeps "
+                        "the 64-core cells tractable)")
+    p.add_argument("--seed", type=lambda v: int(v, 0), default=0xC0FFEE)
+    p.add_argument("--verify", action="store_true",
+                   help="run every cell under the live invariant checker")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="also write the machine-readable JSON report here")
+    p.set_defaults(fn=cmd_scale)
     p = common(sub.add_parser("autotune", help="per-benchmark parameter search"),
                workload=True)
     p.add_argument("--budget", type=int, default=25,

@@ -21,7 +21,7 @@ document them here so that sensitivity to the substitution can be explored
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.units import CACHELINE_BYTES, DEFAULT_CLOCK_HZ, GiB, KiB, MiB
@@ -94,6 +94,30 @@ class SystemConfig:
     #: Parallel network channels: 1 = shared bus (the evaluated model);
     #: more approximate a crossbar/NoC with independent links.
     bus_channels: int = 1
+
+    # ------------------------------------------------------------- interconnect
+    #: Interconnect fabric (any name in :func:`repro.net.topology_names`).
+    #: ``single-bus`` is the distance-free model the paper's 16-core
+    #: evaluation implies and keeps all golden figures bit-identical;
+    #: ``mesh``/``ring``/``crossbar`` route hop-by-hop through per-link
+    #: servers, so placement and distance become visible (docs/MODEL.md,
+    #: "Network model").
+    topology: str = "single-bus"
+    #: Mesh geometry as ``(rows, cols)``; ``None`` derives the most-square
+    #: factorization of the core count (16 → 4×4, 64 → 8×8).  Only
+    #: meaningful with ``topology="mesh"``.
+    mesh_dims: Optional[Tuple[int, int]] = None
+    #: Per-hop propagation delay on NoC topologies.  Defaults near
+    #: ``bus_latency / 3`` so a 3-hop NoC route costs about one bus
+    #: traversal — the calibration that makes mesh-vs-bus comparisons
+    #: about *contention and distance spread*, not a flat rescale.
+    link_latency: int = 12
+    #: Number of SRD shards.  Virtual links partition across shards by
+    #: queue id (``sqi % num_srds``); each shard has its own buffer pool
+    #: and mapping pipeline, sits on its own network node, and cross-shard
+    #: stash traffic pays real network distance.  Alias of the older
+    #: ``num_routers`` knob (they must agree when both are set).
+    num_srds: int = 1
     #: SRD/VLRD address-mapping pipeline depth (Section 3.1: three stages).
     srd_pipeline_latency: int = 3
     #: Core-side cost of vl_select + vl_push (writeback-like, off critical path).
@@ -170,6 +194,7 @@ class SystemConfig:
             "linktab_entries",
             "specbuf_entries",
             "num_routers",
+            "num_srds",
             "bus_channels",
         ):
             if getattr(self, name) < 1:
@@ -177,6 +202,7 @@ class SystemConfig:
         for name in (
             "bus_latency",
             "bus_occupancy",
+            "link_latency",
             "srd_pipeline_latency",
             "push_instruction_cost",
             "fetch_instruction_cost",
@@ -197,6 +223,42 @@ class SystemConfig:
             raise ConfigError("lines_per_endpoint must be >= 1")
         if self.watchdog_cycles < 1:
             raise ConfigError("watchdog_cycles must be >= 1")
+        # bus_occupancy=0 on ONE channel is the legal ideal-network
+        # ablation (infinite bandwidth, pure latency).  With several
+        # channels it is contradictory: channel selection and utilization
+        # both key on occupancy, so extra channels can neither be chosen
+        # differently nor accumulate busy cycles — the configuration
+        # silently degenerates to one channel while reporting many.
+        if self.bus_occupancy == 0 and self.bus_channels > 1:
+            raise ConfigError(
+                "bus_occupancy=0 with bus_channels>1 is contradictory: "
+                "zero-occupancy packets never distinguish channels, so "
+                "utilization accounting over multiple channels is "
+                "meaningless; use bus_channels=1 for the ideal-network "
+                "ablation"
+            )
+        if self.num_srds > 1 and self.num_routers > 1 and (
+            self.num_srds != self.num_routers
+        ):
+            raise ConfigError(
+                f"num_srds={self.num_srds} conflicts with "
+                f"num_routers={self.num_routers}; the knobs are aliases — "
+                "set one (or both to the same value)"
+            )
+        if self.mesh_dims is not None:
+            if self.topology != "mesh":
+                raise ConfigError(
+                    f"mesh_dims is only meaningful with topology='mesh', "
+                    f"got topology={self.topology!r}"
+                )
+            rows, cols = self.mesh_dims
+            if rows < 1 or cols < 1:
+                raise ConfigError(f"mesh_dims must be positive, got {self.mesh_dims}")
+            if rows * cols < self.num_cores:
+                raise ConfigError(
+                    f"mesh_dims {rows}x{cols} has {rows * cols} nodes, "
+                    f"fewer than num_cores={self.num_cores}"
+                )
         # Component defaults are validated against the registry lazily: the
         # shipped defaults skip the check so importing this module does not
         # drag in the device/algorithm modules (registry imports are cycle
@@ -205,6 +267,12 @@ class SystemConfig:
             from repro.registry import resolve_device
 
             resolve_device(self.default_device)
+        # Same lazy pattern for the topology registry: the shipped default
+        # skips the lookup so importing config stays import-cycle free.
+        if self.topology != "single-bus":
+            from repro.net.topology import resolve_topology
+
+            resolve_topology(self.topology)
         if self.default_algorithm is not None:
             from repro.registry import algorithm_names
 
@@ -215,6 +283,13 @@ class SystemConfig:
                 )
 
     # ----------------------------------------------------------------- helpers
+    @property
+    def effective_srds(self) -> int:
+        """Routing-device shard count, honouring both spellings of the
+        knob (``num_srds`` is the interconnect-era alias of
+        ``num_routers``; validation rejects a disagreement)."""
+        return self.num_srds if self.num_srds > 1 else self.num_routers
+
     def to_dict(self) -> Dict:
         """Serialize to a plain dict (JSON-friendly; caches nested)."""
         from dataclasses import asdict
@@ -228,6 +303,8 @@ class SystemConfig:
         for cache_field in ("l1d", "l1i", "l2"):
             if cache_field in data and isinstance(data[cache_field], dict):
                 data[cache_field] = CacheConfig(**data[cache_field])
+        if isinstance(data.get("mesh_dims"), list):  # JSON round-trip
+            data["mesh_dims"] = tuple(data["mesh_dims"])
         return cls(**data)
 
     def to_json(self) -> str:

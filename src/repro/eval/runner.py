@@ -185,12 +185,26 @@ def collect_metrics(system: System, workload: Workload, setting: Setting) -> Run
         latency_mean=lat.mean,
         latency_p50=lat.percentile(50) if lat.n else 0.0,
         latency_p99=lat.percentile(99) if lat.n else 0.0,
-        extra={
-            "requests_dropped": stats.get("requests_dropped"),
-            "buffered": stats.get("buffered"),
-            "spec_selected": stats.get("spec_selected"),
-        },
+        extra=_with_net_extras(
+            system,
+            {
+                "requests_dropped": stats.get("requests_dropped"),
+                "buffered": stats.get("buffered"),
+                "spec_selected": stats.get("spec_selected"),
+            },
+        ),
     )
+
+
+def _with_net_extras(system: System, extra: Dict) -> Dict:
+    """Add fabric metrics on NoC topologies (single-bus has no links, so
+    bus-model RunMetrics stay byte-identical)."""
+    links = system.network.links()
+    if links:
+        extra["net_links"] = len(links)
+        extra["net_wait_cycles"] = system.network.wait_cycles
+        extra["net_utilization"] = round(system.network.utilization(), 6)
+    return extra
 
 
 def run_workload(

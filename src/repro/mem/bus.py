@@ -5,11 +5,16 @@ network rather than a dedicated queue network (Section 2), so every queue
 packet — consumer *request* (vl_fetch), producer *data* (vl_push) and
 routing-device *stash* — competes for the same interconnect.
 
-The model is a single FIFO server: each packet serializes onto the network
-for :attr:`SystemConfig.bus_occupancy` cycles and then propagates for
-:attr:`SystemConfig.bus_latency` cycles.  Utilization — the fraction of
-cycles with a packet occupying the network — is exactly the metric the paper
-reports in Figure 10b.
+The *fabric* underneath is pluggable (:mod:`repro.net`): the default
+``single-bus`` topology is a single FIFO server — each packet serializes
+onto the network for :attr:`SystemConfig.bus_occupancy` cycles and then
+propagates for :attr:`SystemConfig.bus_latency` cycles, and utilization —
+the fraction of cycles with a packet occupying the network — is exactly the
+metric the paper reports in Figure 10b.  ``mesh``/``ring``/``crossbar``
+topologies instead route each packet hop-by-hop through per-link servers,
+so source/destination placement matters; callers pass ``src``/``dst`` node
+ids obtained from :meth:`CoherenceNetwork.core_node` /
+:meth:`CoherenceNetwork.srd_node`.
 """
 
 from __future__ import annotations
@@ -17,8 +22,8 @@ from __future__ import annotations
 from enum import Enum
 from typing import Optional, TYPE_CHECKING
 
+from repro.net.topology import build_topology
 from repro.sim.event import Event
-from repro.sim.resources import FifoServer
 from repro.sim.stats import Counter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -59,30 +64,36 @@ class CoherenceNetwork:
         #: Instrumentation bus; occupancy events are published per accepted
         #: packet when somebody subscribed to ``BusHook`` (None = silent).
         self.hooks = hooks
-        #: One FifoServer per parallel channel.  A single channel is the
-        #: shared-bus model; several channels approximate a crossbar/NoC
-        #: with independent links (packets take the earliest-free channel).
-        self.channels = [
-            FifoServer(env, config.bus_occupancy, name=f"coherence-network[{i}]")
-            for i in range(config.bus_channels)
-        ]
-        self.server = self.channels[0]  # compatibility alias
+        #: The fabric model (:mod:`repro.net`): ``single-bus`` replicates
+        #: the historical earliest-free-channel arithmetic bit-for-bit;
+        #: NoC topologies route hop-by-hop through per-link servers.
+        self.topology = build_topology(config.topology, env, config, hooks=hooks)
+        #: Compatibility aliases for the shared-bus model (empty/None on
+        #: NoC topologies, whose links are exposed via :meth:`links`).
+        self.channels = getattr(self.topology, "channels", [])
+        self.server = self.channels[0] if self.channels else None
         self.latency = config.bus_latency
         self.counters = Counter()
 
     def transit(
-        self, kind: PacketKind, txn: Optional["TransactionRecord"] = None
+        self,
+        kind: PacketKind,
+        txn: Optional["TransactionRecord"] = None,
+        src: int = 0,
+        dst: int = 0,
     ) -> Event:
-        """Send one packet; event fires at delivery.
+        """Send one packet from node *src* to node *dst*; event fires at
+        delivery.
 
-        *txn* threads the packet's transaction record through the network
-        layer so instrumentation can attribute occupancy to lifecycles; the
-        network itself only forwards it to :class:`BusHook` subscribers.
+        On the ``single-bus`` topology *src*/*dst* are ignored (every pair
+        is equidistant).  *txn* threads the packet's transaction record
+        through the network layer so instrumentation can attribute
+        occupancy to lifecycles; the network itself only forwards it to
+        :class:`BusHook` subscribers.
         """
         self.counters.add(kind.value)
         self.counters.add("total_packets")
-        channel = min(self.channels, key=lambda s: max(s._free_at, self.env.now))
-        delivered = channel.serve(extra_delay=self.latency)
+        delivered = self.topology.transit(kind.value, src, dst)
         if self.hooks is not None:
             from repro.sim.hooks import BusHook
 
@@ -96,23 +107,47 @@ class CoherenceNetwork:
                 )
         return delivered
 
-    def response(self) -> Event:
-        """Send a hit/miss response signal (latency only, no occupancy)."""
+    def response(self, src: int = 0, dst: int = 0) -> Event:
+        """Send a hit/miss response signal (latency only, no occupancy).
+
+        Responses ride dedicated wires but still cover the src→dst
+        distance; on ``single-bus`` that is the flat ``bus_latency``.
+        """
         self.counters.add("responses")
-        return self.env.timeout(self.latency)
+        return self.env.timeout(self.topology.response_latency(src, dst))
+
+    # -- placement ---------------------------------------------------------------
+    def core_node(self, core_id: int) -> int:
+        """The topology node core *core_id*'s cache controller sits on."""
+        return self.topology.core_node(core_id)
+
+    def srd_node(self, srd_index: int) -> int:
+        """The topology node SRD shard *srd_index* sits on."""
+        return self.topology.srd_node(srd_index)
 
     # -- metrics -----------------------------------------------------------------
     @property
     def busy_cycles(self) -> int:
-        return sum(channel.busy_cycles for channel in self.channels)
+        return self.topology.busy_cycles
+
+    @property
+    def wait_cycles(self) -> int:
+        """Backpressure cycles packets spent queued at NoC links (0 on
+        the shared bus, which folds queueing into busy time)."""
+        return self.topology.wait_cycles
+
+    def links(self):
+        """Per-link objects on NoC topologies; ``[]`` on ``single-bus``."""
+        return self.topology.links()
+
+    def link_report(self, elapsed: int = 0):
+        """Per-link utilization/backpressure rows (empty on single-bus)."""
+        return self.topology.link_report(elapsed)
 
     def utilization(self, elapsed: int = 0) -> float:
-        """Busy fraction over *elapsed* cycles across all channels
+        """Busy fraction over *elapsed* cycles across all channels/links
         (default window: current sim time)."""
-        window = elapsed or self.env.now
-        if window <= 0:
-            return 0.0
-        return min(1.0, self.busy_cycles / (window * len(self.channels)))
+        return self.topology.utilization(elapsed)
 
     def packets(self, kind: PacketKind) -> int:
         return self.counters.get(kind.value)

@@ -33,9 +33,9 @@ class LineState(Enum):
 class ConsumerLine:
     """One cacheline of a consumer endpoint's receive buffer."""
 
-    __slots__ = ("env", "addr", "endpoint_id", "index", "_state", "timer",
-                 "data", "fills", "vacates", "failed_fills", "fill_txn",
-                 "last_vacate_time", "hooks")
+    __slots__ = ("env", "addr", "endpoint_id", "index", "core_id", "_state",
+                 "timer", "data", "fills", "vacates", "failed_fills",
+                 "fill_txn", "last_vacate_time", "hooks")
 
     def __init__(
         self,
@@ -44,11 +44,14 @@ class ConsumerLine:
         endpoint_id: int,
         index: int,
         hooks: Optional["HookBus"] = None,
+        core_id: int = 0,
     ) -> None:
         self.env = env
         self.addr = addr
         self.endpoint_id = endpoint_id
         self.index = index
+        #: Owning consumer's core — the stash destination on NoC topologies.
+        self.core_id = core_id
         #: Instrumentation bus; occupancy transitions publish a
         #: :class:`~repro.sim.hooks.LineHook` when somebody listens.
         self.hooks = hooks

@@ -133,12 +133,21 @@ class CoherentMemorySystem:
             return self.values.get(addr, 0)
 
         self.counters.add("load_misses")
-        # BusRd: occupy the network for the request.
-        yield self.network.transit(PacketKind.COHERENCE)
+        # BusRd: occupy the network for the request.  On NoC topologies the
+        # request travels to the coherence hub (the shared-L2 home node,
+        # co-located with SRD shard 0); the bus model ignores placement.
+        net = self.network
+        yield net.transit(
+            PacketKind.COHERENCE, src=net.core_node(core), dst=net.srd_node(0)
+        )
         supplier = self._snoop_for_supplier(core, addr)
         if supplier is not None:
-            # Cache-to-cache transfer: one data packet back.
-            yield self.network.transit(PacketKind.COHERENCE)
+            # Cache-to-cache transfer: one data packet supplier → requester.
+            yield net.transit(
+                PacketKind.COHERENCE,
+                src=net.core_node(supplier[0]),
+                dst=net.core_node(core),
+            )
             self.counters.add("c2c_transfers")
         else:
             l2_entry = self.l2.lookup(addr)
@@ -184,7 +193,12 @@ class CoherentMemorySystem:
             if entry is not None:
                 # S or O: upgrade — invalidate every other copy.
                 self.counters.add("upgrades")
-                yield self.network.transit(PacketKind.COHERENCE)
+                net = self.network
+                yield net.transit(
+                    PacketKind.COHERENCE,
+                    src=net.core_node(core),
+                    dst=net.srd_node(0),
+                )
                 if cache.peek(addr) is None:
                     # A racing BusRdX invalidated us mid-upgrade: retry as
                     # a plain miss.
@@ -194,10 +208,17 @@ class CoherentMemorySystem:
                 return
             # Store miss: BusRdX.
             self.counters.add("store_misses")
-            yield self.network.transit(PacketKind.COHERENCE)
+            net = self.network
+            yield net.transit(
+                PacketKind.COHERENCE, src=net.core_node(core), dst=net.srd_node(0)
+            )
             supplier = self._snoop_for_supplier(core, addr)
             if supplier is not None:
-                yield self.network.transit(PacketKind.COHERENCE)
+                yield net.transit(
+                    PacketKind.COHERENCE,
+                    src=net.core_node(supplier[0]),
+                    dst=net.core_node(core),
+                )
                 self.counters.add("c2c_transfers")
             else:
                 l2_entry = self.l2.lookup(addr)

@@ -24,6 +24,7 @@ from repro.sim.hooks import (
     DeliveryHook,
     HookBus,
     LineHook,
+    LinkHook,
     PushHook,
     SpecBufHook,
     SpecDecisionHook,
@@ -47,8 +48,13 @@ class MetricsCollector:
     ``spec.retry.<algo>``           sticky-slot retry count per algorithm
     ``spec.refused.<algo>``         retries the algorithm refused
     ``bus.packets.<kind>``          accepted network packets per class
+    ``net.traversals.<kind>``       per-packet-class NoC link crossings
     ``line.fill``/``line.vacate``/``line.failed-fill``  cacheline churn
     ``push.messages`` / ``delivery.messages``  semantic send/receive
+
+    ``net.*`` names only appear on hop-routed topologies (mesh/ring/
+    crossbar) — the single-bus fabric publishes no :class:`LinkHook`, so
+    bus-model metric exports are unchanged byte for byte.
     """
 
     def __init__(self, bus: HookBus, registry: MetricsRegistry) -> None:
@@ -58,6 +64,7 @@ class MetricsCollector:
             bus.subscribe(SpecBufHook, self._on_specbuf),
             bus.subscribe(SpecDecisionHook, self._on_decision),
             bus.subscribe(BusHook, self._on_bus),
+            bus.subscribe(LinkHook, self._on_link),
             bus.subscribe(LineHook, self._on_line),
             bus.subscribe(PushHook, self._on_push),
             bus.subscribe(DeliveryHook, self._on_delivery),
@@ -103,6 +110,9 @@ class MetricsCollector:
     def _on_bus(self, event: BusHook) -> None:
         self.registry.inc(f"bus.packets.{event.kind}")
 
+    def _on_link(self, event: LinkHook) -> None:
+        self.registry.inc(f"net.traversals.{event.kind}")
+
     def _on_line(self, event: LineHook) -> None:
         self.registry.inc(f"line.{event.transition}")
 
@@ -131,6 +141,29 @@ def finalize_system(system: "System", registry: MetricsRegistry) -> None:
     )
     for kind, count in sorted(system.network.counters.as_dict().items()):
         registry.gauge_set(f"bus.accepted.{kind}", float(count))
+    # Per-link fabric gauges exist only on NoC topologies: the single-bus
+    # fabric reports no links, keeping bus-model exports byte-identical.
+    links = system.network.links()
+    if links:
+        registry.gauge_set("net.links", float(len(links)))
+        registry.gauge_set(
+            "net.wait_cycles", float(system.network.wait_cycles)
+        )
+        registry.gauge_set(
+            "net.utilization", round(system.network.utilization(), 6)
+        )
+        for row in system.network.link_report():
+            name = row["link"]
+            registry.gauge_set(f"net.link.{name}.packets", float(row["packets"]))
+            registry.gauge_set(
+                f"net.link.{name}.busy_cycles", float(row["busy_cycles"])
+            )
+            registry.gauge_set(
+                f"net.link.{name}.wait_cycles", float(row["wait_cycles"])
+            )
+            registry.gauge_set(
+                f"net.link.{name}.utilization", round(row["utilization"], 6)
+            )
     empty, valid = system.consumer_line_cycles()
     registry.gauge_set("line.avg_empty_cycles", round(empty, 6))
     registry.gauge_set("line.avg_valid_cycles", round(valid, 6))

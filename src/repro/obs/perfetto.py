@@ -18,6 +18,10 @@ and streams every instrumentation event into the Trace Event JSON format
   responses and per-algorithm delay decisions.
 * **pid 4 — cachelines**: one thread per endpoint; instants for
   fill/vacate/failed-fill transitions.
+* **pid 5 — interconnect**: one thread per directed NoC link
+  (:mod:`repro.net`); a busy-cycles counter plus an instant per link
+  traversal.  Hop-routed topologies only — single-bus runs publish no
+  :class:`~repro.sim.hooks.LinkHook`, so their documents are unchanged.
 
 Timestamps are **simulation ticks** (exported as microseconds, the
 format's native unit) — never wall-clock — so two identical runs export
@@ -37,6 +41,7 @@ from repro.sim.hooks import (
     DeliveryHook,
     HookBus,
     LineHook,
+    LinkHook,
     PushHook,
     SpecBufHook,
     SpecDecisionHook,
@@ -50,12 +55,14 @@ PID_TRANSACTIONS = 1
 PID_NETWORK = 2
 PID_SPECBUF = 3
 PID_LINES = 4
+PID_NET = 5
 
 _PROCESS_NAMES = {
     PID_TRANSACTIONS: "transactions",
     PID_NETWORK: "network",
     PID_SPECBUF: "specbuf",
     PID_LINES: "cachelines",
+    PID_NET: "interconnect",
 }
 
 
@@ -82,8 +89,12 @@ class PerfettoTraceSink:
             bus.subscribe(SpecDecisionHook, self._on_decision),
             bus.subscribe(BusHook, self._on_bus),
             bus.subscribe(LineHook, self._on_line),
+            bus.subscribe(LinkHook, self._on_link),
         ]
         self._bus = bus
+        #: Dense per-link thread ids, assigned in first-traversal order
+        #: (the event stream is deterministic, so the mapping is too).
+        self._link_tids: Dict[str, int] = {}
 
     def detach(self) -> None:
         for sub in self._subs:
@@ -217,6 +228,24 @@ class PerfettoTraceSink:
             }
         )
 
+    def _on_link(self, event: LinkHook) -> None:
+        tid = self._link_tids.setdefault(event.link, len(self._link_tids))
+        pid, tid = self._track(PID_NET, tid, event.link)
+        self.events.append(
+            {
+                "ph": "C", "name": f"{event.link}.busy", "ts": event.tick,
+                "pid": pid, "tid": tid, "args": {"busy": event.busy_cycles},
+            }
+        )
+        self.events.append(
+            {
+                "ph": "i", "s": "t", "name": event.kind, "cat": "net",
+                "ts": event.tick, "pid": pid, "tid": tid,
+                "args": {"src": event.src, "dst": event.dst,
+                         "wait": event.wait_cycles},
+            }
+        )
+
     def _on_line(self, event: LineHook) -> None:
         pid, tid = self._track(
             PID_LINES, event.endpoint_id, f"endpoint {event.endpoint_id}"
@@ -257,6 +286,7 @@ class JsonlTraceSink:
             bus.subscribe(SpecDecisionHook, self._on_decision),
             bus.subscribe(BusHook, self._on_bus),
             bus.subscribe(LineHook, self._on_line),
+            bus.subscribe(LinkHook, self._on_link),
         ]
         self._bus = bus
 
@@ -331,6 +361,15 @@ class JsonlTraceSink:
                 "ev": "line", "t": event.tick, "endpoint": event.endpoint_id,
                 "index": event.index, "transition": event.transition,
                 "tid": event.transaction_id,
+            }
+        )
+
+    def _on_link(self, event: LinkHook) -> None:
+        self._emit(
+            {
+                "ev": "link", "t": event.tick, "link": event.link,
+                "kind": event.kind, "src": event.src, "dst": event.dst,
+                "busy": event.busy_cycles, "wait": event.wait_cycles,
             }
         )
 

@@ -99,6 +99,23 @@ class BusHook(HookEvent):
 
 
 @dataclass(frozen=True)
+class LinkHook(HookEvent):
+    """A packet traversed one directed NoC link (:mod:`repro.net`).
+
+    Only published by hop-routed topologies (mesh/ring/crossbar); the
+    default ``single-bus`` fabric has no links, so golden traces and
+    metrics of bus-model runs never see this event.
+    """
+
+    link: str = ""            # link name, e.g. "mesh.e[1,2]"
+    kind: str = ""            # PacketKind.value of the packet on the link
+    src: int = 0              # route source node
+    dst: int = 0              # route destination node
+    busy_cycles: int = 0      # cumulative busy cycles of this link so far
+    wait_cycles: int = 0      # cumulative backpressure cycles at this link
+
+
+@dataclass(frozen=True)
 class PushHook(HookEvent):
     """The library issued ``vl_push`` for one message (semantic send)."""
 

@@ -94,8 +94,12 @@ class System:
                 hooks=self.hooks,
                 security=security,
             )
-            for _ in range(self.config.num_routers)
+            for _ in range(self.config.effective_srds)
         ]
+        # Each shard learns its index so it knows its network node on NoC
+        # topologies (cross-shard traffic pays real distance).
+        for index, shard in enumerate(self.devices):
+            shard.srd_index = index
         self.device_name = device
         self.cores: List[Core] = [
             Core(self.env, i, self.config) for i in range(self.config.num_cores)

@@ -73,7 +73,10 @@ class ConsumerEndpoint:
         #: SPAMeR: registered in specBuf and using the fetch-free dequeue path.
         self.spec_enabled = spec_enabled
         self.lines: List[ConsumerLine] = [
-            ConsumerLine(env, segment.line_addr(i), endpoint_id, i, hooks=hooks)
+            ConsumerLine(
+                env, segment.line_addr(i), endpoint_id, i,
+                hooks=hooks, core_id=core_id,
+            )
             for i in range(num_lines)
         ]
         self._rr_index = 0

@@ -190,9 +190,12 @@ class QueueLibrary:
             )
         # vl_push is posted (writeback-like): the producer continues while
         # the packet traverses the network; ownership is with the device.
-        self.system.network.transit(PacketKind.PUSH_DATA).subscribe(
-            lambda _ev, m=message: device.accept_push(m)
-        )
+        network = self.system.network
+        self.system.network.transit(
+            PacketKind.PUSH_DATA,
+            src=network.core_node(producer.core_id),
+            dst=network.srd_node(device.srd_index),
+        ).subscribe(lambda _ev, m=message: device.accept_push(m))
         return message
 
     # -------------------------------------------------------------------- pop
@@ -313,6 +316,10 @@ class QueueLibrary:
             prerequest=prerequest,
             txn=txn,
         )
-        self.system.network.transit(PacketKind.REQUEST).subscribe(
-            lambda _ev, r=request: self.system.device_for(consumer.sqi).accept_request(r)
-        )
+        network = self.system.network
+        device = self.system.device_for(consumer.sqi)
+        network.transit(
+            PacketKind.REQUEST,
+            src=network.core_node(consumer.core_id),
+            dst=network.srd_node(device.srd_index),
+        ).subscribe(lambda _ev, r=request, d=device: d.accept_request(r))

@@ -61,6 +61,10 @@ class VirtualLinkRoutingDevice:
     kind = "VLRD"
     #: Whether consumer endpoints may register for speculative pushes.
     supports_speculation = False
+    #: Which SRD shard this device instance is (set by ``System`` when it
+    #: builds several; determines the device's network node on NoC
+    #: topologies).  Class default keeps standalone construction working.
+    srd_index = 0
 
     def __init__(
         self,
@@ -213,7 +217,13 @@ class VirtualLinkRoutingDevice:
             entry.sqi,
             "speculative" if speculative else "on-demand",
         )
-        delivered = self.network.transit(PacketKind.STASH, txn=entry.message.txn)
+        # On NoC topologies the stash crosses the device→consumer distance
+        # (and the response signal rides the same distance back).
+        src = self.network.srd_node(self.srd_index)
+        dst = self.network.core_node(line.core_id)
+        delivered = self.network.transit(
+            PacketKind.STASH, txn=entry.message.txn, src=src, dst=dst
+        )
 
         def on_delivery(_ev) -> None:
             vacate_time = line.last_vacate_time
@@ -228,7 +238,7 @@ class VirtualLinkRoutingDevice:
                     detail="speculative" if speculative else "on-demand",
                 )
             # The hit/miss response signal rides back to the device.
-            self.network.response().subscribe(
+            self.network.response(src=dst, dst=src).subscribe(
                 lambda _r: self._on_response(entry, line, hit, speculative)
             )
 

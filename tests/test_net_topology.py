@@ -1,0 +1,275 @@
+"""Unit tests for the interconnect topology layer (repro.net)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.net.topology import (
+    Topology,
+    build_topology,
+    derive_mesh_dims,
+    register_topology,
+    resolve_topology,
+    topology_names,
+    unregister_topology,
+)
+from repro.sim.hooks import HookBus, LinkHook
+
+
+def cfg(**overrides):
+    defaults = dict(num_cores=16, bus_occupancy=3, bus_latency=36, link_latency=12)
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+# ----------------------------------------------------------------- registry
+def test_builtin_topologies_registered():
+    assert topology_names() == ["crossbar", "mesh", "ring", "single-bus"]
+
+
+def test_resolve_unknown_topology_lists_available():
+    with pytest.raises(ConfigError, match="single-bus"):
+        resolve_topology("hypercube")
+
+
+def test_register_and_unregister_custom_topology(env):
+    @register_topology("test-line", description="degenerate test fabric")
+    class LineTopology(Topology):
+        @property
+        def num_nodes(self):
+            return self.config.num_cores
+
+        def core_node(self, core_id):
+            return core_id
+
+        def srd_node(self, srd_index):
+            return 0
+
+        def _compute_route(self, src, dst):
+            return []
+
+    try:
+        assert resolve_topology("test-line") is LineTopology
+        built = build_topology("test-line", env, cfg())
+        assert isinstance(built, LineTopology)
+        assert built.name == "test-line"
+        assert LineTopology.description == "degenerate test fabric"
+    finally:
+        unregister_topology("test-line")
+    with pytest.raises(ConfigError):
+        resolve_topology("test-line")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ConfigError, match="already registered"):
+        register_topology("mesh")(type("Dup", (Topology,), {}))
+
+
+# ---------------------------------------------------------------- geometry
+def test_derive_mesh_dims_most_square():
+    assert derive_mesh_dims(8) == (2, 4)
+    assert derive_mesh_dims(16) == (4, 4)
+    assert derive_mesh_dims(32) == (4, 8)
+    assert derive_mesh_dims(64) == (8, 8)
+    assert derive_mesh_dims(7) == (1, 7)  # prime degenerates to a line
+    assert derive_mesh_dims(1) == (1, 1)
+
+
+# ---------------------------------------------------------------- mesh/XY
+def test_mesh_xy_routing_goes_x_then_y(env):
+    mesh = build_topology("mesh", env, cfg(num_cores=16))  # 4x4
+    # node 0 (0,0) -> node 10 (2,2): two east hops then two south hops.
+    names = [link.name for link in mesh.route(0, 10)]
+    assert names == ["mesh.e[0,0]", "mesh.e[0,1]", "mesh.s[0,2]", "mesh.s[1,2]"]
+    assert mesh.hops(0, 10) == 4
+    # Reverse direction uses the opposite directed links (west, north).
+    back = [link.name for link in mesh.route(10, 0)]
+    assert back == ["mesh.w[2,2]", "mesh.w[2,1]", "mesh.n[2,0]", "mesh.n[1,0]"]
+
+
+def test_mesh_same_node_route_is_empty(env):
+    mesh = build_topology("mesh", env, cfg(num_cores=16))
+    assert mesh.route(5, 5) == ()
+    assert mesh.hops(5, 5) == 0
+
+
+def test_mesh_srd_placement_interior_and_spread(env):
+    mesh = build_topology("mesh", env, cfg(num_cores=16))  # 1 shard
+    assert mesh.srd_node(0) == 8  # mid-scan node, not a corner
+    sharded = build_topology("mesh", env, cfg(num_cores=16, num_srds=4))
+    nodes = [sharded.srd_node(i) for i in range(4)]
+    assert nodes == sorted(set(nodes))  # distinct, monotone
+    assert all(0 <= node < 16 for node in nodes)
+
+
+def test_mesh_respects_explicit_dims(env):
+    mesh = build_topology("mesh", env, cfg(num_cores=8, mesh_dims=(2, 4),
+                                           topology="mesh"))
+    assert (mesh.rows, mesh.cols) == (2, 4)
+    assert mesh.num_nodes == 8
+
+
+def test_mesh_transit_latency_per_hop(env):
+    config = cfg(num_cores=16)
+    mesh = build_topology("mesh", env, config)
+    done = []
+    # 1 hop: occupancy (3) + link latency (12).
+    mesh.transit("stash", 0, 1).subscribe(lambda e: done.append(env.now))
+    env.run()
+    assert done == [15]
+    # Same-node: local port serialization only.
+    done.clear()
+    mesh.transit("stash", 3, 3).subscribe(lambda e: done.append(env.now))
+    env.run()
+    assert done == [env.now]  # fired exactly at completion
+    assert mesh.response_latency(0, 2) == 2 * config.link_latency
+    assert mesh.response_latency(4, 4) == config.link_latency  # floor of 1 hop
+
+
+def test_mesh_multi_hop_is_store_and_forward(env):
+    mesh = build_topology("mesh", env, cfg(num_cores=16))
+    done = []
+    start = env.now
+    mesh.transit("stash", 0, 3).subscribe(lambda e: done.append(env.now))
+    env.run()
+    # 3 hops, each paying serialization then propagation, sequentially.
+    assert done == [start + 3 * (3 + 12)]
+
+
+# ------------------------------------------------------------- contention
+def test_link_contention_accumulates_wait_cycles(env):
+    mesh = build_topology("mesh", env, cfg(num_cores=16))
+    done = []
+    for _ in range(3):
+        mesh.transit("stash", 0, 1).subscribe(lambda e: done.append(env.now))
+    env.run()
+    # Serialization spacing on the shared east link: 3 cycles apart.
+    assert done == [15, 18, 21]
+    link = next(l for l in mesh.links() if l.name == "mesh.e[0,0]")
+    assert link.packets == 3
+    assert link.busy_cycles == 9
+    # Second packet queued 3 cycles, third 6.
+    assert link.wait_cycles == 9
+    assert mesh.wait_cycles == 9
+
+
+def test_disjoint_mesh_paths_do_not_contend(env):
+    mesh = build_topology("mesh", env, cfg(num_cores=16))
+    done = []
+    mesh.transit("stash", 0, 1).subscribe(lambda e: done.append(("a", env.now)))
+    mesh.transit("stash", 4, 5).subscribe(lambda e: done.append(("b", env.now)))
+    env.run()
+    assert done == [("a", 15), ("b", 15)]
+    assert mesh.wait_cycles == 0
+
+
+def test_link_report_and_utilization(env):
+    mesh = build_topology("mesh", env, cfg(num_cores=16))
+    mesh.transit("stash", 0, 1)
+    env.run()
+    report = mesh.link_report(elapsed=100)
+    used = [row for row in report if row["packets"]]
+    assert used == [
+        {
+            "link": "mesh.e[0,0]",
+            "packets": 1,
+            "busy_cycles": 3,
+            "wait_cycles": 0,
+            "utilization": 0.03,
+        }
+    ]
+    assert mesh.utilization(elapsed=100) == pytest.approx(
+        3 / (100 * len(mesh.links()))
+    )
+    assert mesh.utilization(elapsed=0) == 0.0 if env.now == 0 else True
+
+
+# ------------------------------------------------------------------- ring
+def test_ring_takes_shorter_arc_clockwise_on_ties(env):
+    ring = build_topology("ring", env, cfg(num_cores=8))
+    assert [l.name for l in ring.route(0, 2)] == ["ring.cw[0]", "ring.cw[1]"]
+    assert [l.name for l in ring.route(0, 6)] == ["ring.ccw[0]", "ring.ccw[7]"]
+    # Exact tie (distance 4 both ways) goes clockwise.
+    assert [l.name for l in ring.route(0, 4)][0] == "ring.cw[0]"
+    assert ring.hops(0, 4) == 4
+    assert ring.hops(1, 1) == 0
+    assert ring.route(3, 3) == ()
+
+
+def test_ring_srd_placement(env):
+    ring = build_topology("ring", env, cfg(num_cores=8, num_srds=2))
+    assert [ring.srd_node(i) for i in range(2)] == [0, 4]
+
+
+# --------------------------------------------------------------- crossbar
+def test_crossbar_two_hop_routes_and_endpoint_contention(env):
+    xbar = build_topology("crossbar", env, cfg(num_cores=4))
+    assert xbar.num_nodes == 5  # 4 cores + 1 SRD
+    assert xbar.srd_node(0) == 4
+    names = [l.name for l in xbar.route(0, xbar.srd_node(0))]
+    assert names == ["xbar.in[core0]", "xbar.out[srd0]"]
+    done = []
+    # Two packets from different sources to the same destination: no
+    # ingress contention, but they serialize on the shared egress link.
+    xbar.transit("push-data", 0, 4).subscribe(lambda e: done.append(env.now))
+    xbar.transit("push-data", 1, 4).subscribe(lambda e: done.append(env.now))
+    env.run()
+    assert done == [30, 33]  # 2 hops x (3+12); second waits 3 at egress
+    egress = next(l for l in xbar.links() if l.name == "xbar.out[srd0]")
+    assert egress.wait_cycles == 3
+
+
+# ------------------------------------------------------------- single-bus
+def test_single_bus_matches_historical_arithmetic(env):
+    bus = build_topology("single-bus", env, cfg())
+    done = []
+    for _ in range(3):
+        bus.transit("stash", 0, 5).subscribe(lambda e: done.append(env.now))
+    env.run()
+    # occupancy(3) + latency(36), 3-cycle serialization spacing — the
+    # exact pre-topology CoherenceNetwork numbers (tests/test_mem_bus.py).
+    assert done == [39, 42, 45]
+    assert bus.response_latency(0, 15) == 36  # distance-free
+    assert bus.hops(0, 15) == 1
+    assert bus.links() == []  # no per-link reporting on the bus model
+    assert bus.wait_cycles == 0
+    assert bus.busy_cycles == 9
+
+
+def test_single_bus_multichannel_picks_earliest_free(env):
+    bus = build_topology("single-bus", env, cfg(bus_channels=2))
+    done = []
+    for _ in range(2):
+        bus.transit("stash", 0, 1).subscribe(lambda e: done.append(env.now))
+    env.run()
+    assert done == [39, 39]  # two channels, no serialization
+
+
+# ------------------------------------------------------------------ hooks
+def test_link_hook_published_per_traversal(env):
+    hooks = HookBus()
+    seen = []
+    hooks.subscribe(LinkHook, seen.append)
+    mesh = build_topology("mesh", env, cfg(num_cores=16), hooks=hooks)
+    mesh.transit("stash", 0, 2)
+    env.run()
+    assert [e.link for e in seen] == ["mesh.e[0,0]", "mesh.e[0,1]"]
+    assert all(e.kind == "stash" and (e.src, e.dst) == (0, 2) for e in seen)
+
+
+def test_no_link_hooks_without_subscribers(env):
+    hooks = HookBus()
+    mesh = build_topology("mesh", env, cfg(num_cores=16), hooks=hooks)
+    mesh.transit("stash", 0, 1)
+    env.run()  # wants() gate: publish never constructs events
+    assert hooks.errors == []
+
+
+def test_single_bus_never_publishes_link_hooks(env):
+    hooks = HookBus()
+    seen = []
+    hooks.subscribe(LinkHook, seen.append)
+    bus = build_topology("single-bus", env, cfg(), hooks=hooks)
+    bus.transit("stash", 0, 1)
+    env.run()
+    assert seen == []

@@ -235,12 +235,21 @@ def run_benchmark(
     scale: float = 0.25,
     seed: int = 0xC0FFEE,
     jobs: int = 0,
+    requests: Optional[List[RunRequest]] = None,
+    name: str = "parallel-executor-wallclock",
+    matrix_extra: Optional[Dict] = None,
 ) -> Dict:
-    """Measure both legs and return the BENCH_parallel.json document."""
+    """Measure both legs and return the BENCH_parallel.json document.
+
+    *requests* overrides the workload × setting matrix with a prebuilt
+    request list (the ``--net`` scaling matrix); *matrix_extra* merges
+    extra keys into the recorded matrix description.
+    """
     workloads = list(workloads or workload_names())
     settings = list(settings or FIG8_SETTINGS)
     effective_jobs = resolve_jobs(jobs)
-    requests = build_requests(workloads, settings, scale, seed)
+    if requests is None:
+        requests = build_requests(workloads, settings, scale, seed)
 
     serial_metrics, serial_wall, events = measure_serial(requests)
     parallel_metrics, parallel_wall = measure_parallel(requests, jobs=jobs)
@@ -248,21 +257,24 @@ def run_benchmark(
     identical = [dataclasses.asdict(m) for m in serial_metrics] == [
         dataclasses.asdict(m) for m in parallel_metrics
     ]
+    matrix = {
+        "workloads": workloads,
+        "settings": settings,
+        "scale": scale,
+        "seed": seed,
+        "runs": len(requests),
+    }
+    if matrix_extra:
+        matrix.update(matrix_extra)
     return {
-        "name": "parallel-executor-wallclock",
+        "name": name,
         "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "host": {
             "cpu_count": os.cpu_count(),
             "platform": platform.platform(),
             "python": platform.python_version(),
         },
-        "matrix": {
-            "workloads": workloads,
-            "settings": settings,
-            "scale": scale,
-            "seed": seed,
-            "runs": len(requests),
-        },
+        "matrix": matrix,
         "serial": {
             "wall_s": round(serial_wall, 4),
             "kernel_events": events,
@@ -295,6 +307,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--out", default=None, metavar="FILE",
                         help="write the JSON document here "
                              "(e.g. BENCH_parallel.json)")
+    parser.add_argument("--net", action="store_true",
+                        help="bench the interconnect scaling matrix "
+                             "(repro scale: cores x topology x device) "
+                             "instead of the Fig-8 grid")
     parser.add_argument("--obs-gate", type=int, default=0, metavar="N",
                         help="run the observability overhead gate instead "
                              "(best-of-N legs; fails if the disabled-"
@@ -322,15 +338,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 1
         return 0
 
-    result = run_benchmark(
-        workloads=QUICK_WORKLOADS if args.quick else None,
-        settings=QUICK_SETTINGS if args.quick else None,
-        scale=args.scale if args.scale is not None else (
-            QUICK_SCALE if args.quick else 0.25
-        ),
-        seed=args.seed,
-        jobs=args.jobs,
-    )
+    if args.net:
+        from repro.eval.scaling import (  # noqa: E402
+            DEFAULT_CORES,
+            DEFAULT_SCALE,
+            DEFAULT_SETTINGS,
+            DEFAULT_TOPOLOGIES,
+            scaling_requests,
+        )
+
+        cores = (8, 16) if args.quick else DEFAULT_CORES
+        scale = args.scale if args.scale is not None else DEFAULT_SCALE
+        result = run_benchmark(
+            scale=scale,
+            seed=args.seed,
+            jobs=args.jobs,
+            requests=scaling_requests(cores=cores, scale=scale,
+                                      seed=args.seed),
+            name="net-scaling-wallclock",
+            matrix_extra={
+                "workloads": ["scaling-halo"],
+                "settings": list(DEFAULT_SETTINGS),
+                "cores": list(cores),
+                "topologies": list(DEFAULT_TOPOLOGIES),
+            },
+        )
+    else:
+        result = run_benchmark(
+            workloads=QUICK_WORKLOADS if args.quick else None,
+            settings=QUICK_SETTINGS if args.quick else None,
+            scale=args.scale if args.scale is not None else (
+                QUICK_SCALE if args.quick else 0.25
+            ),
+            seed=args.seed,
+            jobs=args.jobs,
+        )
 
     document = json.dumps(result, indent=2, sort_keys=True)
     print(document)
