@@ -325,6 +325,32 @@ def cmd_scale(args) -> None:
         print(f"\nwrote JSON report to {args.out}")
 
 
+def cmd_load(args) -> None:
+    """The open-system load sweep: tail latency vs offered load."""
+    from repro.eval.load import load_experiment
+
+    topologies = [t.strip() for t in args.topology.split(",") if t.strip()]
+    settings = [s.strip() for s in args.settings.split(",") if s.strip()]
+    rhos = [float(v) for v in args.rhos.split(",") if v.strip()]
+    result = load_experiment(
+        workload=args.workload,
+        arrival=args.arrival,
+        settings=settings,
+        topologies=topologies,
+        rhos=rhos,
+        scale=args.scale,
+        seed=args.seed,
+        churn=args.churn,
+        jobs=getattr(args, "jobs", None),
+    )
+    print(result.render())
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(result.to_json())
+            fh.write("\n")
+        print(f"\nwrote JSON report to {args.out}")
+
+
 def cmd_list(_args) -> None:
     rows = [[n] for n in workload_names()]
     print(format_table(["benchmark"], rows, title="Table 2 workloads"))
@@ -432,7 +458,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated core counts (default: 8,16,32,64)")
     p.add_argument("--topology", default="single-bus,mesh", metavar="LIST",
                    help="comma-separated topologies: single-bus, mesh, "
-                        "ring, crossbar (default: single-bus,mesh)")
+                        "torus, ring, crossbar (default: single-bus,mesh)")
     p.add_argument("--settings", default="vl,tuned", metavar="LIST",
                    help="comma-separated settings per cell (default: vl,tuned "
                         "— one per stock device)")
@@ -447,6 +473,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="FILE", default=None,
                    help="also write the machine-readable JSON report here")
     p.set_defaults(fn=cmd_scale)
+    p = jobs(sub.add_parser(
+        "load",
+        help="open-system load sweep: tail latency vs offered load"))
+    p.add_argument("--workload", default="incast",
+                   choices=workload_names(),
+                   help="an open-capable workload: ping-pong, incast, "
+                        "pipeline, firewall, FIR (default: incast)")
+    p.add_argument("--arrival", default="poisson",
+                   choices=["poisson", "bursty", "ramp"],
+                   help="arrival process driving the sessions "
+                        "(default: poisson)")
+    p.add_argument("--topology", default="single-bus", metavar="LIST",
+                   help="comma-separated topologies: single-bus, mesh, "
+                        "torus, ring, crossbar (default: single-bus)")
+    p.add_argument("--settings", default="vl,tuned", metavar="LIST",
+                   help="comma-separated settings per cell (default: vl,tuned)")
+    p.add_argument("--rhos", default="0.2,0.5,0.8,1.1", metavar="LIST",
+                   help="offered-load points relative to the calibrated "
+                        "closed-batch service rate (default: 0.2,0.5,0.8,1.1 "
+                        "— the last one is past saturation)")
+    p.add_argument("--churn", type=float, default=0.0,
+                   help="per-session probability of departing early "
+                        "(default: 0 — no churn)")
+    p.add_argument("--scale", type=float, default=0.25,
+                   help="message-count scale factor (1.0 = paper scale)")
+    p.add_argument("--seed", type=lambda v: int(v, 0), default=0xC0FFEE)
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="also write the machine-readable JSON report here")
+    p.set_defaults(fn=cmd_load)
     p = common(sub.add_parser("autotune", help="per-benchmark parameter search"),
                workload=True)
     p.add_argument("--budget", type=int, default=25,

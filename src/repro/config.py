@@ -246,9 +246,10 @@ class SystemConfig:
                 "set one (or both to the same value)"
             )
         if self.mesh_dims is not None:
-            if self.topology != "mesh":
+            if self.topology not in ("mesh", "torus"):
                 raise ConfigError(
-                    f"mesh_dims is only meaningful with topology='mesh', "
+                    f"mesh_dims is only meaningful with a grid fabric "
+                    f"(topology='mesh' or 'torus'), "
                     f"got topology={self.topology!r}"
                 )
             rows, cols = self.mesh_dims

@@ -41,6 +41,7 @@ from repro.errors import ConfigError
 from repro.eval.metrics import RunMetrics
 from repro.eval.runner import DEFAULT_CYCLE_LIMIT, Setting, run_workload
 from repro.spamer.delay import DelayAlgorithm
+from repro.workloads.arrival import ArrivalSpec
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,8 @@ class RunRequest:
     limit: int = DEFAULT_CYCLE_LIMIT
     validate: bool = True
     verify: bool = False
+    #: Open-system arrival process, by picklable spec (None = closed batch).
+    arrival: Optional[ArrivalSpec] = None
 
     @classmethod
     def from_setting(
@@ -76,6 +79,7 @@ class RunRequest:
         limit: int = DEFAULT_CYCLE_LIMIT,
         validate: bool = True,
         verify: bool = False,
+        arrival: Optional[ArrivalSpec] = None,
     ) -> "RunRequest":
         """Snapshot a :class:`~repro.eval.runner.Setting` into a request."""
         return cls(
@@ -89,6 +93,7 @@ class RunRequest:
             limit=limit,
             validate=validate,
             verify=verify,
+            arrival=arrival,
         )
 
     def setting(self) -> Setting:
@@ -115,6 +120,7 @@ def execute_request(request: RunRequest) -> RunMetrics:
         limit=request.limit,
         validate=request.validate,
         verify=request.verify,
+        arrival=request.arrival,
     )
 
 

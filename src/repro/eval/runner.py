@@ -185,13 +185,16 @@ def collect_metrics(system: System, workload: Workload, setting: Setting) -> Run
         latency_mean=lat.mean,
         latency_p50=lat.percentile(50) if lat.n else 0.0,
         latency_p99=lat.percentile(99) if lat.n else 0.0,
-        extra=_with_net_extras(
+        extra=_with_request_extras(
             system,
-            {
-                "requests_dropped": stats.get("requests_dropped"),
-                "buffered": stats.get("buffered"),
-                "spec_selected": stats.get("spec_selected"),
-            },
+            _with_net_extras(
+                system,
+                {
+                    "requests_dropped": stats.get("requests_dropped"),
+                    "buffered": stats.get("buffered"),
+                    "spec_selected": stats.get("spec_selected"),
+                },
+            ),
         ),
     )
 
@@ -207,6 +210,21 @@ def _with_net_extras(system: System, extra: Dict) -> Dict:
     return extra
 
 
+def _with_request_extras(system: System, extra: Dict) -> Dict:
+    """Add open-system sojourn metrics when a request log is active
+    (closed-batch runs never activate one, so their RunMetrics stay
+    byte-identical)."""
+    log = system.requests
+    if log.active:
+        extra["request_count"] = log.completed
+        extra["request_opened"] = log.opened
+        extra["request_mean"] = round(log.sojourn_stats.mean, 6)
+        extra["request_p50"] = log.percentile(50)
+        extra["request_p99"] = log.percentile(99)
+        extra["request_p999"] = log.percentile(99.9)
+    return extra
+
+
 def run_workload(
     workload_name: str,
     setting: Setting,
@@ -219,6 +237,7 @@ def run_workload(
     on_system: Optional[Callable[[System], None]] = None,
     verify: bool = False,
     return_system: bool = False,
+    arrival=None,
 ):
     """Run one (workload, setting) pair end to end and return its metrics.
 
@@ -238,12 +257,15 @@ def run_workload(
     ``return_system=True`` returns ``(metrics, system)`` so callers can
     inspect traces or device state post-run — the single code path behind
     the Figure 7 trace experiment (no parallel, drift-prone twin).
+
+    *arrival* selects the open-system arrival process (None = closed
+    batch, the historical behaviour); see :mod:`repro.workloads.arrival`.
     """
     from repro.verify.invariants import StallWatchdog
 
     if verify:
         config = (config or SystemConfig()).with_overrides(verify=True)
-    workload = make_workload(workload_name, scale=scale)
+    workload = make_workload(workload_name, scale=scale, arrival=arrival)
     system = setting.build_system(config=config, seed=seed, trace=trace)
     if on_system is not None:
         on_system(system)

@@ -44,6 +44,7 @@ _BUILTIN_MODULES = (
     "repro.net.mesh",
     "repro.net.ring",
     "repro.net.crossbar",
+    "repro.net.torus",
 )
 
 _builtins_loaded = False

@@ -26,6 +26,7 @@ from repro.sim.hooks import (
     LineHook,
     LinkHook,
     PushHook,
+    RequestHook,
     SpecBufHook,
     SpecDecisionHook,
     TransactionHook,
@@ -51,10 +52,15 @@ class MetricsCollector:
     ``net.traversals.<kind>``       per-packet-class NoC link crossings
     ``line.fill``/``line.vacate``/``line.failed-fill``  cacheline churn
     ``push.messages`` / ``delivery.messages``  semantic send/receive
+    ``request.<state>``             open-system lifecycle transition counts
+    ``request.sojourn``             per-request response-time histogram
 
     ``net.*`` names only appear on hop-routed topologies (mesh/ring/
     crossbar) — the single-bus fabric publishes no :class:`LinkHook`, so
-    bus-model metric exports are unchanged byte for byte.
+    bus-model metric exports are unchanged byte for byte.  Likewise
+    ``request.*`` names only appear on open-system runs: a closed-batch
+    run never activates the request log, so no :class:`RequestHook` is
+    ever published there.
     """
 
     def __init__(self, bus: HookBus, registry: MetricsRegistry) -> None:
@@ -68,6 +74,7 @@ class MetricsCollector:
             bus.subscribe(LineHook, self._on_line),
             bus.subscribe(PushHook, self._on_push),
             bus.subscribe(DeliveryHook, self._on_delivery),
+            bus.subscribe(RequestHook, self._on_request),
         ]
         self._bus = bus
 
@@ -122,6 +129,12 @@ class MetricsCollector:
     def _on_delivery(self, event: DeliveryHook) -> None:
         self.registry.inc("delivery.messages")
 
+    def _on_request(self, event: RequestHook) -> None:
+        reg = self.registry
+        reg.inc(f"request.{event.state}")
+        if event.sojourn is not None:
+            reg.observe("request.sojourn", event.sojourn)
+
 
 def finalize_system(system: "System", registry: MetricsRegistry) -> None:
     """Record the run-boundary gauges that cost nothing during the run.
@@ -164,6 +177,20 @@ def finalize_system(system: "System", registry: MetricsRegistry) -> None:
             registry.gauge_set(
                 f"net.link.{name}.utilization", round(row["utilization"], 6)
             )
+    # Open-system gauges exist only when a request log was activated: the
+    # closed-batch default keeps metric exports byte-identical.
+    requests = system.requests
+    if requests.active:
+        registry.gauge_set("request.opened", float(requests.opened))
+        registry.gauge_set("request.completed", float(requests.completed))
+        registry.gauge_set("request.in_flight", float(len(requests.in_flight())))
+        if requests.completed:
+            registry.gauge_set(
+                "request.sojourn.mean", round(requests.sojourn_stats.mean, 6)
+            )
+            registry.gauge_set("request.sojourn.p50", requests.percentile(50))
+            registry.gauge_set("request.sojourn.p99", requests.percentile(99))
+            registry.gauge_set("request.sojourn.p999", requests.percentile(99.9))
     empty, valid = system.consumer_line_cycles()
     registry.gauge_set("line.avg_empty_cycles", round(empty, 6))
     registry.gauge_set("line.avg_valid_cycles", round(valid, 6))

@@ -22,6 +22,12 @@ and streams every instrumentation event into the Trace Event JSON format
   (:mod:`repro.net`); a busy-cycles counter plus an instant per link
   traversal.  Hop-routed topologies only — single-bus runs publish no
   :class:`~repro.sim.hooks.LinkHook`, so their documents are unchanged.
+* **pid 6 — requests**: one thread per open-system session; an instant
+  per lifecycle state plus a flow chain (``s`` at arrival, ``t`` at
+  first-pop, ``f`` at completion) with ``id = 1_000_000 + request id`` —
+  offset past any realistic transaction id so the per-request arrows
+  never collide with the per-message arrows.  Open-system runs only:
+  closed-batch runs publish no :class:`~repro.sim.hooks.RequestHook`.
 
 Timestamps are **simulation ticks** (exported as microseconds, the
 format's native unit) — never wall-clock — so two identical runs export
@@ -43,6 +49,7 @@ from repro.sim.hooks import (
     LineHook,
     LinkHook,
     PushHook,
+    RequestHook,
     SpecBufHook,
     SpecDecisionHook,
     TraceHook,
@@ -56,6 +63,11 @@ PID_NETWORK = 2
 PID_SPECBUF = 3
 PID_LINES = 4
 PID_NET = 5
+PID_REQUESTS = 6
+
+#: Flow-id offset for request arrows, keeping them disjoint from the
+#: per-message arrows keyed by transaction id.
+REQUEST_FLOW_BASE = 1_000_000
 
 _PROCESS_NAMES = {
     PID_TRANSACTIONS: "transactions",
@@ -63,6 +75,7 @@ _PROCESS_NAMES = {
     PID_SPECBUF: "specbuf",
     PID_LINES: "cachelines",
     PID_NET: "interconnect",
+    PID_REQUESTS: "requests",
 }
 
 
@@ -90,11 +103,14 @@ class PerfettoTraceSink:
             bus.subscribe(BusHook, self._on_bus),
             bus.subscribe(LineHook, self._on_line),
             bus.subscribe(LinkHook, self._on_link),
+            bus.subscribe(RequestHook, self._on_request),
         ]
         self._bus = bus
         #: Dense per-link thread ids, assigned in first-traversal order
         #: (the event stream is deterministic, so the mapping is too).
         self._link_tids: Dict[str, int] = {}
+        #: Dense per-session thread ids, assigned in first-event order.
+        self._session_tids: Dict[str, int] = {}
 
     def detach(self) -> None:
         for sub in self._subs:
@@ -259,6 +275,36 @@ class PerfettoTraceSink:
             entry["args"]["tid"] = event.transaction_id
         self.events.append(entry)
 
+    def _on_request(self, event: RequestHook) -> None:
+        tid = self._session_tids.setdefault(
+            event.session, len(self._session_tids)
+        )
+        pid, tid = self._track(PID_REQUESTS, tid, event.session)
+        args = {"rid": event.rid, "seq": event.seq}
+        if event.sojourn is not None:
+            args["sojourn"] = event.sojourn
+        self.events.append(
+            {
+                "ph": "i", "s": "t", "name": event.state, "cat": "request",
+                "ts": event.tick, "pid": pid, "tid": tid, "args": args,
+            }
+        )
+        # Per-request flow arrows: arrival starts the chain, first-pop is
+        # the mid-hop, completion terminates it.
+        flow_ph = {"arrived": "s", "first-pop": "t", "completed": "f"}.get(
+            event.state
+        )
+        if flow_ph is None:
+            return
+        flow = {
+            "ph": flow_ph, "name": "request", "cat": "reqflow",
+            "id": REQUEST_FLOW_BASE + event.rid, "ts": event.tick,
+            "pid": pid, "tid": tid,
+        }
+        if flow_ph == "f":
+            flow["bp"] = "e"
+        self.events.append(flow)
+
     # ----------------------------------------------------------------- export
     def document(self) -> dict:
         return {"traceEvents": list(self.events), "displayTimeUnit": "ms"}
@@ -287,6 +333,7 @@ class JsonlTraceSink:
             bus.subscribe(BusHook, self._on_bus),
             bus.subscribe(LineHook, self._on_line),
             bus.subscribe(LinkHook, self._on_link),
+            bus.subscribe(RequestHook, self._on_request),
         ]
         self._bus = bus
 
@@ -370,6 +417,15 @@ class JsonlTraceSink:
                 "ev": "link", "t": event.tick, "link": event.link,
                 "kind": event.kind, "src": event.src, "dst": event.dst,
                 "busy": event.busy_cycles, "wait": event.wait_cycles,
+            }
+        )
+
+    def _on_request(self, event: RequestHook) -> None:
+        self._emit(
+            {
+                "ev": "request", "t": event.tick, "rid": event.rid,
+                "session": event.session, "seq": event.seq,
+                "state": event.state, "sojourn": event.sojourn,
             }
         )
 

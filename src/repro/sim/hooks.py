@@ -137,6 +137,28 @@ class DeliveryHook(HookEvent):
 
 
 @dataclass(frozen=True)
+class RequestHook(HookEvent):
+    """An open-system request changed lifecycle state.
+
+    Published by :class:`~repro.sim.request.RequestLog` at every stamp of
+    an *active* log — closed-batch runs never activate one, so golden
+    traces and metric exports of the default workloads are unchanged.
+    ``state`` is a :class:`~repro.sim.request.ReqState` value string
+    (``arrived``/``admitted``/``first-pop``/``completed``); ``sojourn``
+    is only set on the completion event.  ``tick`` may lie in the past
+    for the arrival stamp: a backlogged session admits a request after
+    its scheduled arrival and publishes the arrival with its planned
+    tick (the same ``record_at`` semantics as :class:`TraceHook`).
+    """
+
+    rid: int = 0
+    session: str = ""
+    seq: int = 0
+    state: str = ""
+    sojourn: Optional[int] = None
+
+
+@dataclass(frozen=True)
 class LineHook(HookEvent):
     """A consumer cacheline changed occupancy state.
 

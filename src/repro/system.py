@@ -40,6 +40,7 @@ from repro.registry import resolve_device
 from repro.sim.hooks import HookBus
 from repro.sim.kernel import Environment
 from repro.sim.process import Process
+from repro.sim.request import RequestLog
 from repro.sim.rng import RngPool
 from repro.sim.trace import TraceRecorder
 from repro.sim.transaction import TransactionLog
@@ -75,6 +76,10 @@ class System:
         #: Transaction lifecycle allocator; records are retained for
         #: post-run queries only on traced systems.
         self.transactions = TransactionLog(retain=trace)
+        #: Open-system request lifecycle log (inactive until an
+        #: open-capable workload plans sessions under an open arrival
+        #: process; closed-batch runs never touch it).
+        self.requests = RequestLog(hooks=self.hooks)
         self.network = CoherenceNetwork(self.env, self.config, hooks=self.hooks)
         self.addr_space = AddressSpace(self.config.dram_bytes)
 

@@ -18,7 +18,7 @@ algorithm locks onto the fast-path period.
 
 from __future__ import annotations
 
-from typing import List, TYPE_CHECKING
+from typing import Dict, List, TYPE_CHECKING
 
 import numpy as np
 
@@ -34,6 +34,7 @@ class Fir(Workload):
 
     name = "FIR"
     description = "data streams through 10-stage FIR filter"
+    open_capable = True
 
     STAGES = 10          # 1 source + 9 filter stages, (1:1)x9
     TAPS = 9             # one coefficient per filter stage
@@ -43,8 +44,8 @@ class Fir(Workload):
     INTER_BURST_GAP = 420
     MAC_COMPUTE = 100    # per-stage multiply-accumulate cost
 
-    def __init__(self, scale: float = 1.0) -> None:
-        super().__init__(scale)
+    def __init__(self, scale: float = 1.0, arrival=None) -> None:
+        super().__init__(scale, arrival)
         self.coefficients = np.array(
             [0.5, 0.25, 0.125, -0.125, 0.0625, -0.0625, 0.03125, -0.03125, 0.015625]
         )
@@ -57,12 +58,17 @@ class Fir(Workload):
     def num_threads(self) -> int:
         return self.STAGES
 
+    def session_quotas(self) -> Dict[str, int]:
+        return {"fir-source": self.scaled(self.SAMPLES)}
+
     def build(self, system: "System") -> None:
         lib = system.library
         samples = self.scaled(self.SAMPLES)
         rng = system.rng.stream("fir-input")
         signal = rng.standard_normal(samples)
-        self.inputs = list(signal)
+        plan = self.plan_sessions(system, self.session_quotas())["fir-source"]
+        issued = len(plan)
+        self.inputs = list(signal[:issued])
 
         queues = [lib.create_queue() for _ in range(self.STAGES - 1)]
         prods = [lib.open_producer(q, core_id=i) for i, q in enumerate(queues)]
@@ -70,10 +76,13 @@ class Fir(Workload):
 
         def source(ctx):
             window = [0.0] * self.TAPS
-            for n in range(samples):
+
+            def feed(n, record):
+                nonlocal window
                 window = [float(signal[n])] + window[: self.TAPS - 1]
                 key = ("s0", n)
                 self.note_produced(key)
+                self.track_request(key, record)
                 # Payload: (trace key, sequence, sample window, partial sum).
                 yield from ctx.push(prods[0], (key, n, tuple(window), 0.0))
                 if (n + 1) % self.BURST == 0:
@@ -81,16 +90,19 @@ class Fir(Workload):
                 else:
                     yield from ctx.compute_jittered(self.INTRA_BURST_GAP, 0.05)
 
+            yield from self.drive(ctx, "fir-source", plan, feed)
+
         def make_stage(stage: int):
             cons = conss[stage - 1]
             prod = prods[stage] if stage < self.STAGES - 1 else None
             coeff = float(self.coefficients[stage - 1])
 
             def stage_thread(ctx):
-                for _ in range(samples):
+                for _ in range(issued):
                     msg = yield from ctx.pop(cons)
                     key, n, window, partial = msg.payload
                     self.note_consumed(key)
+                    self.request_first_pop(key, ctx.now)
                     yield from ctx.compute_jittered(self.MAC_COMPUTE, 0.05)
                     partial = partial + coeff * window[stage - 1]
                     if prod is not None:
@@ -99,6 +111,7 @@ class Fir(Workload):
                         yield from ctx.push(prod, (new_key, n, window, partial))
                     else:
                         self.results.append((n, partial))
+                        self.request_complete(("s0", n), ctx.now)
 
             return stage_thread
 

@@ -30,10 +30,15 @@ class PingPong(Workload):
     Data production sits on the critical path (each side can only reply
     after receiving), so speculation has nothing to overlap — the paper
     reports ≈1.0× here.
+
+    Open-system reading: side A is the *session* (one request = one
+    round trip), side B the echo server; a request completes when A
+    consumes B's reply.
     """
 
     name = "ping-pong"
     description = "data back and forth between two threads"
+    open_capable = True
 
     ROUNDS = 800
     COMPUTE = 150
@@ -44,6 +49,9 @@ class PingPong(Workload):
     def num_threads(self) -> int:
         return 2
 
+    def session_quotas(self) -> Dict[str, int]:
+        return {"pingpong-a": self.scaled(self.ROUNDS)}
+
     def build(self, system: "System") -> None:
         lib = system.library
         q_ab, q_ba = lib.create_queue(), lib.create_queue()
@@ -51,21 +59,27 @@ class PingPong(Workload):
         cons_b = lib.open_consumer(q_ab, core_id=1)
         prod_b = lib.open_producer(q_ba, core_id=1)
         cons_a = lib.open_consumer(q_ba, core_id=0)
-        rounds = self.scaled(self.ROUNDS)
+        plan = self.plan_sessions(system, self.session_quotas())["pingpong-a"]
+        rounds = len(plan)
 
         def side_a(ctx):
-            for i in range(rounds):
+            def round_trip(i, record):
                 key = ("ab", i)
                 self.note_produced(key)
+                self.track_request(key, record)
                 yield from ctx.push(prod_a, key)
                 msg = yield from ctx.pop(cons_a)
                 self.note_consumed(msg.payload)
+                self.request_complete(key, ctx.now)
                 yield from ctx.compute_jittered(self.COMPUTE, 0.05)
+
+            yield from self.drive(ctx, "pingpong-a", plan, round_trip)
 
         def side_b(ctx):
             for i in range(rounds):
                 msg = yield from ctx.pop(cons_b)
                 self.note_consumed(msg.payload)
+                self.request_first_pop(msg.payload, ctx.now)
                 yield from ctx.compute_jittered(self.COMPUTE, 0.05)
                 key = ("ba", i)
                 self.note_produced(key)
@@ -242,6 +256,7 @@ class Incast(Workload):
 
     name = "incast"
     description = "all threads sending data to the master thread"
+    open_capable = True
 
     PRODUCERS = 4
     MESSAGES_PER_PRODUCER = 500
@@ -255,23 +270,33 @@ class Incast(Workload):
     def num_threads(self) -> int:
         return self.PRODUCERS + 1
 
+    def session_quotas(self) -> Dict[str, int]:
+        per_producer = self.scaled(self.MESSAGES_PER_PRODUCER)
+        return {
+            f"incast-prod{pid}": per_producer for pid in range(self.PRODUCERS)
+        }
+
     def build(self, system: "System") -> None:
         lib = system.library
         sqi = lib.create_queue()
         master_lines = self.MASTER_LINES if system.spec_default else None
         cons = lib.open_consumer(sqi, core_id=0, num_lines=master_lines)
-        per_producer = self.scaled(self.MESSAGES_PER_PRODUCER)
-        total = per_producer * self.PRODUCERS
+        plans = self.plan_sessions(system, self.session_quotas())
+        total = sum(len(plan) for plan in plans.values())
 
         def make_producer(pid: int):
+            session = f"incast-prod{pid}"
             prod = lib.open_producer(sqi, core_id=pid + 1)
 
             def producer(ctx):
-                for i in range(per_producer):
+                def send(i, record):
                     key = (pid, i)
                     self.note_produced(key)
+                    self.track_request(key, record)
                     yield from ctx.push(prod, key)
                     yield from ctx.compute_jittered(self.PRODUCE_COMPUTE, 0.1)
+
+                yield from self.drive(ctx, session, plans[session], send)
 
             return producer
 
@@ -279,6 +304,7 @@ class Incast(Workload):
             for _ in range(total):
                 msg = yield from ctx.pop(cons)
                 self.note_consumed(msg.payload)
+                self.request_complete(msg.payload, ctx.now)
                 yield from ctx.compute_jittered(self.AGGREGATE_COMPUTE, 0.05)
 
         system.spawn(0, master, "incast-master")

@@ -13,7 +13,7 @@ Both follow the software structure of Wang et al.'s CAF benchmarks
 
 from __future__ import annotations
 
-from typing import List, TYPE_CHECKING
+from typing import Dict, List, TYPE_CHECKING
 
 from repro.workloads.base import QueueSpec, WorkCounter, Workload
 
@@ -26,6 +26,7 @@ class Pipeline(Workload):
 
     name = "pipeline"
     description = "4-stage pipeline with middle stages multi-threaded"
+    open_capable = True
 
     STAGE_WIDTH = 4
     PACKETS = 600
@@ -41,6 +42,9 @@ class Pipeline(Workload):
 
     def num_threads(self) -> int:
         return 2 + 2 * self.STAGE_WIDTH
+
+    def session_quotas(self) -> Dict[str, int]:
+        return {"pipe-gen": self.scaled(self.PACKETS)}
 
     def build(self, system: "System") -> None:
         lib = system.library
@@ -62,12 +66,23 @@ class Pipeline(Workload):
         credit_prod = lib.open_producer(q4, sink_core)
         credit_cons = lib.open_consumer(q4, gen_core)
 
-        stage_a_work = WorkCounter(packets)
-        stage_b_work = WorkCounter(packets)
+        plan = self.plan_sessions(system, self.session_quotas())["pipe-gen"]
+        issued = len(plan)
+
+        stage_a_work = WorkCounter(packets, label="pipeline.q1:stage-a")
+        stage_b_work = WorkCounter(packets, label="pipeline.q2:stage-b")
+        if issued < packets:
+            # The generator session churned at plan time: retire its
+            # shortfall so the stage workers terminate at the reduced
+            # count instead of tripping conservation.
+            stage_a_work.retire(packets - issued)
+            stage_b_work.retire(packets - issued)
 
         def generator(ctx):
             in_flight = 0
-            for i in range(packets):
+
+            def emit(i, record):
+                nonlocal in_flight
                 if in_flight >= self.CREDIT_WINDOW:
                     credit = yield from ctx.pop(credit_cons)
                     self.note_consumed(credit.payload)
@@ -75,8 +90,11 @@ class Pipeline(Workload):
                 yield from ctx.compute_jittered(self.GEN_COMPUTE, 0.1)
                 key = ("pkt", i)
                 self.note_produced(key)
+                self.track_request(key, record)
                 yield from ctx.push(gen_prod, key)
                 in_flight += 1
+
+            yield from self.drive(ctx, "pipe-gen", plan, emit)
             while in_flight > 0:
                 credit = yield from ctx.pop(credit_cons)
                 self.note_consumed(credit.payload)
@@ -89,6 +107,7 @@ class Pipeline(Workload):
                     if msg is None:
                         return
                     self.note_consumed(msg.payload)
+                    self.request_first_pop(msg.payload, ctx.now)
                     yield from ctx.compute_jittered(self.STAGE_COMPUTE, 0.1)
                     counter.mark_done()
                     key = (stage_tag,) + msg.payload
@@ -98,9 +117,12 @@ class Pipeline(Workload):
             return worker
 
         def sink(ctx):
-            for _ in range(packets):
+            for _ in range(issued):
                 msg = yield from ctx.pop(sink_cons)
                 self.note_consumed(msg.payload)
+                # Payload is ("b", "a", "pkt", i); the tracked request key
+                # is the generator's original ("pkt", i) suffix.
+                self.request_complete(msg.payload[2:], ctx.now)
                 yield from ctx.compute_jittered(self.SINK_COMPUTE, 0.1)
                 key = ("credit", msg.payload)
                 self.note_produced(key)
@@ -127,6 +149,7 @@ class Firewall(Workload):
 
     name = "firewall"
     description = "filter and dispatch packages"
+    open_capable = True
 
     PACKETS = 800
     CREDIT_WINDOW = 16
@@ -139,6 +162,9 @@ class Firewall(Workload):
 
     def num_threads(self) -> int:
         return 4
+
+    def session_quotas(self) -> Dict[str, int]:
+        return {"fw-source": self.scaled(self.PACKETS)}
 
     def build(self, system: "System") -> None:
         lib = system.library
@@ -156,9 +182,14 @@ class Firewall(Workload):
         credit_prod = lib.open_producer(q_credit, 3)
         credit_cons = lib.open_consumer(q_credit, 0)
 
+        plan = self.plan_sessions(system, self.session_quotas())["fw-source"]
+        issued = len(plan)
+
         def source(ctx):
             in_flight = 0
-            for i in range(packets):
+
+            def emit(i, record):
+                nonlocal in_flight
                 if in_flight >= self.CREDIT_WINDOW:
                     credit = yield from ctx.pop(credit_cons)
                     self.note_consumed(credit.payload)
@@ -166,9 +197,12 @@ class Firewall(Workload):
                 yield from ctx.compute_jittered(self.SOURCE_COMPUTE, 0.1)
                 key = ("pkt", i)
                 self.note_produced(key)
+                self.track_request(key, record)
                 prod = src_prod_a if i % 2 == 0 else src_prod_b
                 yield from ctx.push(prod, key)
                 in_flight += 1
+
+            yield from self.drive(ctx, "fw-source", plan, emit)
             while in_flight > 0:
                 credit = yield from ctx.pop(credit_cons)
                 self.note_consumed(credit.payload)
@@ -179,6 +213,7 @@ class Firewall(Workload):
                 for _ in range(count):
                     msg = yield from ctx.pop(cons)
                     self.note_consumed(msg.payload)
+                    self.request_first_pop(msg.payload, ctx.now)
                     yield from ctx.compute_jittered(self.FILTER_COMPUTE, 0.1)
                     key = (tag,) + msg.payload
                     self.note_produced(key)
@@ -187,16 +222,19 @@ class Firewall(Workload):
             return filt
 
         def sink(ctx):
-            for _ in range(packets):
+            for _ in range(issued):
                 msg = yield from ctx.pop(sink_cons)
                 self.note_consumed(msg.payload)
+                # Payload is ("fa"|"fb", "pkt", i); the tracked request
+                # key is the source's original ("pkt", i) suffix.
+                self.request_complete(msg.payload[1:], ctx.now)
                 yield from ctx.compute_jittered(self.SINK_COMPUTE, 0.1)
                 key = ("credit", msg.payload)
                 self.note_produced(key)
                 yield from ctx.push(credit_prod, key)
 
-        count_a = (packets + 1) // 2
-        count_b = packets // 2
+        count_a = (issued + 1) // 2
+        count_b = issued // 2
         system.spawn(0, source, "fw-source")
         system.spawn(1, make_filter(filt_a_cons, filt_a_prod, count_a, "fa"), "fw-filterA")
         system.spawn(2, make_filter(filt_b_cons, filt_b_prod, count_b, "fb"), "fw-filterB")

@@ -27,10 +27,16 @@ def workload_names() -> List[str]:
     return [cls.name for cls in WORKLOAD_CLASSES]
 
 
-def make_workload(name: str, scale: float = 1.0) -> Workload:
-    """Instantiate a benchmark by its Table 2 name."""
+def make_workload(name: str, scale: float = 1.0, arrival=None) -> Workload:
+    """Instantiate a benchmark by its Table 2 name.
+
+    *arrival* is None (closed batch), an
+    :class:`~repro.workloads.arrival.ArrivalSpec` or an
+    :class:`~repro.workloads.arrival.ArrivalProcess`; open processes are
+    only accepted by open-capable workloads.
+    """
     if name not in _REGISTRY:
         raise WorkloadError(
             f"unknown workload {name!r}; available: {workload_names()}"
         )
-    return _REGISTRY[name](scale=scale)
+    return _REGISTRY[name](scale=scale, arrival=arrival)

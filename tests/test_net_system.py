@@ -119,7 +119,7 @@ def test_zero_occupancy_single_channel_stays_legal():
 
 def test_unknown_topology_rejected_with_available_list():
     with pytest.raises(ConfigError, match="registered topologies"):
-        SystemConfig(topology="torus")
+        SystemConfig(topology="hypercube")
 
 
 def test_mesh_dims_requires_mesh_topology():

@@ -24,7 +24,7 @@ def cfg(**overrides):
 
 # ----------------------------------------------------------------- registry
 def test_builtin_topologies_registered():
-    assert topology_names() == ["crossbar", "mesh", "ring", "single-bus"]
+    assert topology_names() == ["crossbar", "mesh", "ring", "single-bus", "torus"]
 
 
 def test_resolve_unknown_topology_lists_available():

@@ -17,6 +17,7 @@ Usage::
     python tools/bench.py                 # full Fig-8 matrix, scale 0.25
     python tools/bench.py --quick         # small matrix for CI smoke runs
     python tools/bench.py --jobs 8 --out BENCH_parallel.json
+    python tools/bench.py --load --out BENCH_load.json   # open-system sweep
 """
 
 from __future__ import annotations
@@ -229,6 +230,99 @@ def measure_obs_overhead(
     }
 
 
+def run_load_benchmark(
+    workload: str = "incast",
+    arrival: str = "poisson",
+    scale: float = 0.25,
+    seed: int = 0xC0FFEE,
+    jobs: int = 0,
+    quick: bool = False,
+    clock=time.perf_counter,
+) -> Dict:
+    """Wall-clock the open-system load sweep (BENCH_load.json).
+
+    Runs :func:`repro.eval.load.load_experiment` twice — ``jobs=1`` and
+    ``jobs=N`` — and asserts the two reports are byte-identical before
+    recording anything: the load sweep carries the same deterministic-
+    across-``--jobs`` contract as the Figure-8 matrix.  The recorded rate
+    is *simulated requests completed per wall second*, summed over the
+    calibration and sweep phases.  Unlike :func:`measure_parallel` the
+    parallel leg here includes pool spawn (the sweep spawns its own
+    executors internally), so quick-matrix rates understate steady-state
+    throughput — they are trend lines, not absolutes.
+    """
+    from repro.eval.load import (
+        DEFAULT_RHOS,
+        DEFAULT_SETTINGS,
+        DEFAULT_TOPOLOGIES,
+        load_experiment,
+    )
+
+    topologies = ("single-bus", "mesh") if quick else DEFAULT_TOPOLOGIES
+    rhos = (0.5, 1.1) if quick else DEFAULT_RHOS
+    settings = DEFAULT_SETTINGS
+    effective_jobs = resolve_jobs(jobs)
+
+    def leg(n_jobs: int):
+        start = clock()
+        result = load_experiment(
+            workload=workload,
+            arrival=arrival,
+            settings=settings,
+            topologies=topologies,
+            rhos=rhos,
+            scale=scale,
+            seed=seed,
+            jobs=n_jobs,
+        )
+        return result, clock() - start
+
+    serial, serial_wall = leg(1)
+    parallel, parallel_wall = leg(effective_jobs)
+    identical = serial.to_json() == parallel.to_json()
+
+    completed = sum(row["requests"] for row in serial.rows) + sum(
+        cell["requests"] for cell in serial.calibration
+    )
+    return {
+        "name": "load-sweep-wallclock",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "matrix": {
+            "workload": workload,
+            "arrival": arrival,
+            "settings": list(settings),
+            "topologies": list(topologies),
+            "rhos": list(rhos),
+            "scale": scale,
+            "seed": seed,
+            "runs": len(serial.calibration) + len(serial.rows),
+        },
+        "requests_completed": completed,
+        "serial": {
+            "wall_s": round(serial_wall, 4),
+            "requests_per_s": (
+                round(completed / serial_wall) if serial_wall else None
+            ),
+        },
+        "parallel": {
+            "jobs": effective_jobs,
+            "wall_s": round(parallel_wall, 4),
+            "requests_per_s": (
+                round(completed / parallel_wall) if parallel_wall else None
+            ),
+        },
+        "speedup": (
+            round(serial_wall / parallel_wall, 3) if parallel_wall else None
+        ),
+        "identical": identical,
+    }
+
+
 def run_benchmark(
     workloads: Optional[Sequence[str]] = None,
     settings: Optional[Sequence[str]] = None,
@@ -311,6 +405,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="bench the interconnect scaling matrix "
                              "(repro scale: cores x topology x device) "
                              "instead of the Fig-8 grid")
+    parser.add_argument("--load", action="store_true",
+                        help="bench the open-system load sweep "
+                             "(repro load: tail latency vs offered load) "
+                             "instead of the Fig-8 grid")
     parser.add_argument("--obs-gate", type=int, default=0, metavar="N",
                         help="run the observability overhead gate instead "
                              "(best-of-N legs; fails if the disabled-"
@@ -338,7 +436,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 1
         return 0
 
-    if args.net:
+    if args.load:
+        result = run_load_benchmark(
+            scale=args.scale if args.scale is not None else (
+                QUICK_SCALE if args.quick else 0.25
+            ),
+            seed=args.seed,
+            jobs=args.jobs,
+            quick=args.quick,
+        )
+    elif args.net:
         from repro.eval.scaling import (  # noqa: E402
             DEFAULT_CORES,
             DEFAULT_SCALE,
