@@ -46,8 +46,19 @@ def _setting(name: str) -> Setting:
     return setting_by_name(name)
 
 
+def _config(args):
+    """Config override from kernel flags (None = shipped defaults)."""
+    sched = getattr(args, "scheduler", None)
+    if sched and sched != "heap":
+        from repro.config import SystemConfig
+
+        return SystemConfig(scheduler=sched)
+    return None
+
+
 def _grid(args):
     return comparison_experiment(scale=args.scale, seed=args.seed,
+                                 config=_config(args),
                                  jobs=getattr(args, "jobs", None))
 
 
@@ -137,11 +148,13 @@ def cmd_run(args) -> None:
         request = RunRequest.from_setting(
             args.workload, _setting(args.setting), scale=args.scale,
             seed=args.seed, verify=verify,
+            scheduler=getattr(args, "scheduler", None),
         )
         m = run_requests([request], jobs=jobs)[0]
     else:
         m = run_workload(args.workload, _setting(args.setting), scale=args.scale,
-                         seed=args.seed, on_system=on_system, verify=verify)
+                         seed=args.seed, config=_config(args),
+                         on_system=on_system, verify=verify)
     rows = [
         ["execution", f"{m.exec_cycles} cycles ({m.exec_ms:.3f} ms)"],
         ["messages", m.messages_delivered],
@@ -384,6 +397,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "see docs/PERFORMANCE.md")
         return p
 
+    def sched(p):
+        from repro.sim.sched import scheduler_names
+
+        p.add_argument("--scheduler", choices=scheduler_names(),
+                       default="heap", metavar="NAME",
+                       help="kernel pending-queue strategy: "
+                            f"{', '.join(scheduler_names())} "
+                            "(default: heap). All strategies produce "
+                            "identical simulated results; calendar/batch "
+                            "are faster on deep pending sets — see "
+                            "docs/PERFORMANCE.md §5")
+        return p
+
     sub.add_parser("table1", help="Table 1").set_defaults(fn=cmd_table1)
     sub.add_parser("table2", help="Table 2").set_defaults(fn=cmd_table2)
     p = common(sub.add_parser("fig7", help="Figure 7 transaction trace"),
@@ -392,18 +418,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", metavar="FILE", default=None,
                    help="export the full trace as CSV instead of printing")
     p.set_defaults(fn=cmd_fig7, setting="vl")
-    jobs(common(sub.add_parser("fig8", help="Figure 8 speedups"))).set_defaults(
-        fn=cmd_fig8)
-    jobs(common(sub.add_parser("fig9", help="Figure 9 breakdown"))).set_defaults(
-        fn=cmd_fig9)
-    jobs(common(sub.add_parser("fig10a", help="Figure 10a failure rates"))
-         ).set_defaults(fn=cmd_fig10a)
-    jobs(common(sub.add_parser("fig10b", help="Figure 10b bus utilization"))
-         ).set_defaults(fn=cmd_fig10b)
+    sched(jobs(common(sub.add_parser("fig8", help="Figure 8 speedups")))
+          ).set_defaults(fn=cmd_fig8)
+    sched(jobs(common(sub.add_parser("fig9", help="Figure 9 breakdown")))
+          ).set_defaults(fn=cmd_fig9)
+    sched(jobs(common(sub.add_parser("fig10a", help="Figure 10a failure rates")))
+          ).set_defaults(fn=cmd_fig10a)
+    sched(jobs(common(sub.add_parser("fig10b", help="Figure 10b bus utilization")))
+          ).set_defaults(fn=cmd_fig10b)
     jobs(common(sub.add_parser("fig11", help="Figure 11 sensitivity panel"),
                 workload=True)).set_defaults(fn=cmd_fig11)
-    p = jobs(common(sub.add_parser("run", help="run one workload under one setting"),
-                    workload=True, setting=True))
+    p = sched(jobs(common(
+        sub.add_parser("run", help="run one workload under one setting"),
+        workload=True, setting=True)))
     p.add_argument("--hook-stats", action="store_true",
                    help="dump per-stage transaction latency histograms "
                         "collected over the instrumentation hook bus")

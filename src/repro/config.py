@@ -185,6 +185,16 @@ class SystemConfig:
     #: ``None`` defers to the device registration's own default.
     default_algorithm: Optional[str] = None
 
+    # ------------------------------------------------------------------ kernel
+    #: Pending-event queue strategy for the simulation kernel (any name in
+    #: :func:`repro.sim.sched.scheduler_names`).  ``heap`` is the reference
+    #: binary heap and keeps all golden figures bit-identical; ``calendar``
+    #: (slotted per-cycle ring) and ``batch`` (same-timestamp bucket
+    #: dispatcher) trade it for O(1) bucket operations that win on deep
+    #: pending sets (docs/PERFORMANCE.md §5).  Every strategy produces
+    #: identical simulated results — only wall-clock speed differs.
+    scheduler: str = "heap"
+
     def __post_init__(self) -> None:
         if self.num_cores < 1:
             raise ConfigError(f"need at least one core, got {self.num_cores}")
@@ -274,6 +284,11 @@ class SystemConfig:
             from repro.net.topology import resolve_topology
 
             resolve_topology(self.topology)
+        # And for the kernel scheduler registry.
+        if self.scheduler != "heap":
+            from repro.sim.sched import resolve_scheduler
+
+            resolve_scheduler(self.scheduler)
         if self.default_algorithm is not None:
             from repro.registry import algorithm_names
 

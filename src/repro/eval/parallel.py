@@ -66,6 +66,11 @@ class RunRequest:
     verify: bool = False
     #: Open-system arrival process, by picklable spec (None = closed batch).
     arrival: Optional[ArrivalSpec] = None
+    #: Kernel pending-queue strategy, by registry name (None = whatever the
+    #: config says, i.e. ``heap`` by default).  Travels as a plain string —
+    #: like device/algorithm names — so a scheduler choice made in the
+    #: parent pickles cleanly into every worker and is re-resolved there.
+    scheduler: Optional[str] = None
 
     @classmethod
     def from_setting(
@@ -80,6 +85,7 @@ class RunRequest:
         validate: bool = True,
         verify: bool = False,
         arrival: Optional[ArrivalSpec] = None,
+        scheduler: Optional[str] = None,
     ) -> "RunRequest":
         """Snapshot a :class:`~repro.eval.runner.Setting` into a request."""
         return cls(
@@ -94,6 +100,7 @@ class RunRequest:
             validate=validate,
             verify=verify,
             arrival=arrival,
+            scheduler=scheduler,
         )
 
     def setting(self) -> Setting:
@@ -111,11 +118,16 @@ def execute_request(request: RunRequest) -> RunMetrics:
     Also the serial path: ``jobs=1`` calls this in-process, which is why
     parallel output cannot drift from serial output.
     """
+    config = request.config
+    if request.scheduler is not None:
+        config = (config or SystemConfig()).with_overrides(
+            scheduler=request.scheduler
+        )
     return run_workload(
         request.workload,
         request.setting(),
         scale=request.scale,
-        config=request.config,
+        config=config,
         seed=request.seed,
         limit=request.limit,
         validate=request.validate,

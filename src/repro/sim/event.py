@@ -11,6 +11,13 @@ Events move through three states::
 
 ``TRIGGERED`` means the event sits in the kernel's queue with a value or an
 exception attached; ``PROCESSED`` means its callbacks have run.
+
+Events never talk to the queue structure directly — they go through
+``Environment.schedule``/``schedule_callback`` — so they are agnostic to
+the pending-queue strategy (:mod:`repro.sim.sched`): the same Event
+semantics hold under the heap, calendar, and batch schedulers.  Every
+class here carries ``__slots__``; events are allocated per message hop,
+so the per-instance dict would be the kernel's largest allocation.
 """
 
 from __future__ import annotations
@@ -111,6 +118,8 @@ class Event:
         if self.callbacks is None:
             # Already processed: schedule an immediate delivery so that the
             # callback still runs from the kernel loop, preserving ordering.
+            # This lands URGENT at the current cycle — the case that forces
+            # batch-draining schedulers to preempt an in-flight bucket.
             self.env.schedule_callback(callback, self)
         else:
             self.callbacks.append(callback)

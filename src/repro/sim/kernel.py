@@ -1,33 +1,41 @@
 """The discrete-event simulation kernel (:class:`Environment`).
 
-A classic calendar-queue kernel: events are stored in a binary heap keyed by
-``(time, priority, sequence)``; :meth:`Environment.step` pops the earliest
-event, advances the clock, and runs its callbacks.  The ``sequence`` tiebreak
-makes runs fully deterministic: two events scheduled for the same cycle fire
-in scheduling order.
+Events are stored in a pluggable *scheduler* (see :mod:`repro.sim.sched`)
+keyed by ``(time, priority, sequence)``; :meth:`Environment.step` pops the
+earliest event, advances the clock, and runs its callbacks.  The
+``sequence`` tiebreak makes runs fully deterministic: two events scheduled
+for the same cycle fire in scheduling order.  The default ``heap``
+scheduler is the classic binary heap; the ``calendar`` and ``batch``
+schedulers trade it for O(1) per-cycle buckets that pay off on deep
+pending sets — every scheduler realizes the exact same total order, which
+``tests/test_kernel_equivalence.py`` enforces differentially.
 
 Time is an integer cycle count.  All device latencies in this package are
-integral, which keeps the heap exact (no float comparisons) and runs
+integral, which keeps the queue keys exact (no float comparisons) and runs
 reproducible bit-for-bit across platforms.
 
-Hot-path notes (see docs/PERFORMANCE.md): the dispatch loops in
-:meth:`Environment.run` and :meth:`Environment.run_until_complete` inline
-the body of :meth:`Environment.step` with the queue and ``heappop`` bound
-to locals — a simulation is millions of ``step`` calls, so the attribute
-lookups and the extra frame per event are measurable.  Deferred callbacks
-(:meth:`Environment.schedule_callback`) ride the heap as plain 5-tuples
-instead of allocating a shim :class:`Event` per call; the ``sequence``
-tiebreak guarantees tuple comparison never reaches the payload slot.
+Hot-path notes (see docs/PERFORMANCE.md): for the default ``heap``
+scheduler the dispatch loops in :meth:`Environment.run` and
+:meth:`Environment.run_until_complete` inline the body of
+:meth:`Environment.step` with the raw heap list and ``heappop`` bound to
+locals — a simulation is millions of ``step`` calls, so the attribute
+lookups and the extra frame per event are measurable.  Bucket schedulers
+instead drain whole ``(time, priority)`` batches per queue operation.
+Deferred callbacks (:meth:`Environment.schedule_callback`) ride the queue
+as plain 5-tuples instead of allocating a shim :class:`Event` per call;
+the ``sequence`` tiebreak guarantees tuple comparison never reaches the
+payload slot.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import SchedulingError, SimulationError
 from repro.sim.event import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
+from repro.sim.sched import resolve_scheduler
 
 #: Priority levels: URGENT callbacks run before NORMAL ones in the same cycle.
 URGENT = 0
@@ -42,22 +50,57 @@ class Environment:
         env = Environment()
         env.process(my_generator(env))
         env.run(until=1_000_000)
+
+    *scheduler* selects the pending-queue strategy: a registry name
+    (``"heap"``, ``"calendar"``, ``"batch"`` — see :mod:`repro.sim.sched`)
+    or, for tests, a zero-argument factory returning a scheduler instance.
+    Every strategy dispatches in identical ``(time, priority, seq)``
+    order; only wall-clock speed differs.
     """
 
-    def __init__(self, initial_time: int = 0) -> None:
+    __slots__ = (
+        "_now",
+        "_sched",
+        "_heap",
+        "_scheduler_name",
+        "_seq",
+        "_processed",
+        "_active_process",
+        "_watchdog",
+        "_watchdog_after",
+    )
+
+    def __init__(
+        self,
+        initial_time: int = 0,
+        scheduler: Union[str, Callable[[], Any]] = "heap",
+    ) -> None:
         self._now: int = int(initial_time)
-        #: Heap entries are ``(time, priority, seq, event)`` for ordinary
+        if isinstance(scheduler, str):
+            self._scheduler_name = scheduler
+            self._sched = resolve_scheduler(scheduler)()
+        else:
+            self._sched = scheduler()
+            self._scheduler_name = getattr(
+                self._sched, "registry_name", type(self._sched).__name__
+            )
+        #: Raw heap list when the strategy exposes one (HeapScheduler and
+        #: subclasses); enables the inline fast path so the default
+        #: configuration executes the exact historical dispatch loop.
+        #: Queue entries are ``(time, priority, seq, event)`` for ordinary
         #: events or ``(time, priority, seq, callback, arg)`` for deferred
-        #: callbacks (see :meth:`schedule_callback`).  ``seq`` is unique, so
-        #: heap comparisons never reach the payload slots.
-        self._queue: List[Tuple] = []
+        #: callbacks (see :meth:`schedule_callback`).  ``seq`` is unique,
+        #: so tuple comparisons never reach the payload slots.
+        self._heap: Optional[List[Tuple]] = getattr(self._sched, "heap", None)
         self._seq: int = 0
         self._processed: int = 0
         self._active_process: Optional[Process] = None
         # Observe-only watchdog hook: called with the current time by the
-        # first step() at or past the deadline.  It schedules nothing and
-        # never mutates kernel state, so installing one cannot perturb the
-        # event sequence — it may only raise to abort a stalled run.
+        # first dispatch at or past the deadline — the same firing point
+        # whether the dispatch came from step(), run(), or a drained
+        # batch.  It schedules nothing and never mutates kernel state, so
+        # installing one cannot perturb the event sequence — it may only
+        # raise to abort a stalled run.
         self._watchdog: Optional[Callable[[int], None]] = None
         self._watchdog_after: int = 0
 
@@ -68,14 +111,19 @@ class Environment:
         return self._now
 
     @property
+    def scheduler_name(self) -> str:
+        """Registry name of the active pending-queue strategy."""
+        return self._scheduler_name
+
+    @property
     def events_processed(self) -> int:
-        """Total heap entries dispatched so far (the wall-clock benchmark's
+        """Total queue entries dispatched so far (the wall-clock benchmark's
         events/sec denominator)."""
         return self._processed
 
     @property
     def events_scheduled(self) -> int:
-        """Total heap entries ever enqueued (scheduled ≥ processed; the
+        """Total queue entries ever enqueued (scheduled ≥ processed; the
         difference is the current queue backlog plus cancelled entries).
 
         Kernel observability is boundary-only by design: the registry
@@ -87,8 +135,8 @@ class Environment:
 
     @property
     def queue_length(self) -> int:
-        """Pending heap entries right now."""
-        return len(self._queue)
+        """Pending queue entries right now."""
+        return len(self._sched)
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -121,30 +169,68 @@ class Environment:
         """Enqueue a triggered *event* for processing ``delay`` cycles ahead."""
         if delay < 0:
             raise SchedulingError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + int(delay), priority, self._seq, event))
+        entry = (self._now + int(delay), priority, self._seq, event)
+        heap = self._heap
+        if heap is not None:
+            heapq.heappush(heap, entry)
+        else:
+            self._sched.push(entry)
         self._seq += 1
 
     def schedule_callback(self, callback: Callable[[Event], None], event: Event) -> None:
         """Run *callback(event)* for an already-processed event via the queue.
 
-        The deferred call is stored directly in the heap entry — a 5-tuple
+        The deferred call is stored directly in the queue entry — a 5-tuple
         ``(time, priority, seq, callback, event)`` — so no shim
-        :class:`Event` is allocated per call.
+        :class:`Event` is allocated per call.  It is scheduled URGENT at
+        the current cycle, so it runs before any NORMAL work pending for
+        this cycle (bucket schedulers preempt a partially-drained batch to
+        honour this; see :mod:`repro.sim.sched`).
         """
-        heapq.heappush(
-            self._queue, (self._now, URGENT, self._seq, callback, event)
-        )
+        entry = (self._now, URGENT, self._seq, callback, event)
+        heap = self._heap
+        if heap is not None:
+            heapq.heappush(heap, entry)
+        else:
+            self._sched.push(entry)
+        self._seq += 1
+
+    def call_later(
+        self,
+        delay: int,
+        callback: Callable[[Any], None],
+        arg: Any = None,
+        priority: int = NORMAL,
+    ) -> None:
+        """Enqueue a bare *callback(arg)* ``delay`` cycles ahead.
+
+        The event-free counterpart of :meth:`schedule`: the deferred call
+        rides the queue as the same 5-tuple form :meth:`schedule_callback`
+        uses, so no :class:`Event` is allocated at all.  Useful for
+        periodic housekeeping and kernel micro-benchmarks where the full
+        event lifecycle would only add constant overhead.
+        """
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule into the past (delay={delay})")
+        entry = (self._now + int(delay), priority, self._seq, callback, arg)
+        heap = self._heap
+        if heap is not None:
+            heapq.heappush(heap, entry)
+        else:
+            self._sched.push(entry)
         self._seq += 1
 
     # -- watchdog ------------------------------------------------------------
     def set_watchdog(self, callback: Callable[[int], None], deadline: int) -> None:
         """Install the observe-only stall watchdog.
 
-        *callback(now)* runs inside the first :meth:`step` whose event time
-        is at or past *deadline*.  The callback must either raise (aborting
-        the run, e.g. with :class:`~repro.errors.SimDeadlockError`) or call
+        *callback(now)* runs inside the first dispatch whose event time is
+        at or past *deadline* — :meth:`step` and the :meth:`run` loops
+        share the firing point, since both funnel through
+        :meth:`_dispatch`.  The callback must either raise (aborting the
+        run, e.g. with :class:`~repro.errors.SimDeadlockError`) or call
         :meth:`defer_watchdog` to arm the next deadline; returning without
-        deferring re-fires it every step.
+        deferring re-fires it every dispatch.
         """
         self._watchdog = callback
         self._watchdog_after = int(deadline)
@@ -163,19 +249,23 @@ class Environment:
     # -- execution -----------------------------------------------------------
     def peek(self) -> Optional[int]:
         """Time of the next event, or None if the queue is empty."""
-        return self._queue[0][0] if self._queue else None
+        heap = self._heap
+        if heap is not None:
+            return heap[0][0] if heap else None
+        return self._sched.peek_time()
 
     def _dispatch(self, entry: Tuple) -> None:
         """Advance the clock to *entry* and run its payload (one event)."""
         when = entry[0]
-        if when < self._now:  # pragma: no cover - heap invariant guard
+        if when < self._now:  # pragma: no cover - queue invariant guard
             raise SchedulingError("event queue corrupted: time went backwards")
         self._now = when
         if self._watchdog is not None and when >= self._watchdog_after:
             self._watchdog(when)
         self._processed += 1
         if len(entry) == 5:
-            # Deferred callback (schedule_callback): no Event was allocated.
+            # Deferred callback (schedule_callback/call_later): no Event
+            # was allocated.
             entry[3](entry[4])
             return
         event = entry[3]
@@ -186,30 +276,92 @@ class Environment:
             # A failed event nobody handled: surface the error loudly.
             raise event.value
 
+    def _dispatch_batch(self, sched: Any, batch: List[Tuple]) -> None:
+        """Dispatch a FIFO batch sharing one ``(time, priority)`` key.
+
+        If a callback schedules an entry that must fire before the rest of
+        the batch (an URGENT call at the current cycle), the scheduler
+        raises its ``preempted`` flag and the undispatched remainder is
+        handed back via ``reclaim`` — the next pop returns the preempting
+        lane first, reproducing heap order exactly.  The remainder is also
+        reclaimed if a dispatch raises (watchdog abort, unhandled failed
+        event), so the queue stays intact for post-mortem inspection.
+        """
+        dispatch = self._dispatch
+        i = 0
+        n = len(batch)
+        try:
+            while i < n:
+                entry = batch[i]
+                i += 1
+                dispatch(entry)
+                if sched.preempted:
+                    break
+        finally:
+            if i < n:
+                sched.reclaim(batch, i)
+
     def step(self) -> None:
-        """Process the single earliest event."""
-        if not self._queue:
+        """Process the single earliest event.
+
+        Shares :meth:`_dispatch` with the :meth:`run` loops, so watchdog
+        firing and failed-event propagation behave identically whether a
+        simulation is driven step-by-step or in bulk.  Raises
+        :class:`SimulationError` on an empty queue.
+        """
+        heap = self._heap
+        if heap is not None:
+            if not heap:
+                raise SimulationError("step() on an empty event queue")
+            self._dispatch(heapq.heappop(heap))
+            return
+        sched = self._sched
+        if not len(sched):
             raise SimulationError("step() on an empty event queue")
-        self._dispatch(heapq.heappop(self._queue))
+        self._dispatch(sched.pop())
 
     def run(self, until: Optional[int] = None) -> int:
         """Run until the queue drains or the clock passes *until*.
 
-        Returns the final simulated time.  When *until* is given the clock is
-        advanced to exactly *until* even if the last event fired earlier,
-        mirroring a wall-clock measurement window.
+        Returns the final simulated time.  When *until* is given the clock
+        is advanced to exactly *until* even if the last event fired
+        earlier, mirroring a wall-clock measurement window.
+        ``run(until=env.now)`` is an explicit zero-width window: it
+        processes everything pending for the current cycle (events with
+        ``time == now``), leaves strictly-later events queued, and returns
+        with the clock unchanged.
         """
         if until is not None and until < self._now:
             raise SchedulingError(f"until={until} is in the past (now={self._now})")
-        # Hot loop: queue/heappop/dispatch bound to locals (a run is millions
-        # of iterations; schedule() mutates the same list object in place).
-        queue = self._queue
-        pop = heapq.heappop
-        dispatch = self._dispatch
-        while queue:
-            if until is not None and queue[0][0] > until:
-                break
-            dispatch(pop(queue))
+        heap = self._heap
+        if heap is not None:
+            # Hot loop: queue/heappop/dispatch bound to locals (a run is
+            # millions of iterations; schedule() mutates the same list
+            # object in place).
+            queue = heap
+            pop = heapq.heappop
+            dispatch = self._dispatch
+            while queue:
+                if until is not None and queue[0][0] > until:
+                    break
+                dispatch(pop(queue))
+        else:
+            sched = self._sched
+            pop_batch = sched.pop_batch
+            dispatch_batch = self._dispatch_batch
+            if until is None:
+                while True:
+                    batch = pop_batch()
+                    if batch is None:
+                        break
+                    dispatch_batch(sched, batch)
+            else:
+                peek = sched.peek_time
+                while True:
+                    when = peek()
+                    if when is None or when > until:
+                        break
+                    dispatch_batch(sched, pop_batch())
         if until is not None:
             self._now = max(self._now, int(until))
         return self._now
@@ -220,19 +372,50 @@ class Environment:
         Raises :class:`SimulationError` if the queue drains (deadlock) or the
         optional *limit* is reached before the process completes.
         """
-        queue = self._queue
-        pop = heapq.heappop
-        dispatch = self._dispatch
-        while not process.triggered:
-            if not queue:
-                raise SimulationError(
-                    f"deadlock: event queue drained before {process!r} finished"
-                )
-            if limit is not None and queue[0][0] > limit:
-                raise SimulationError(
-                    f"simulation limit {limit} reached before {process!r} finished"
-                )
-            dispatch(pop(queue))
+        if self._heap is not None:
+            queue = self._heap
+            pop = heapq.heappop
+            dispatch = self._dispatch
+            while not process.triggered:
+                if not queue:
+                    raise SimulationError(
+                        f"deadlock: event queue drained before {process!r} finished"
+                    )
+                if limit is not None and queue[0][0] > limit:
+                    raise SimulationError(
+                        f"simulation limit {limit} reached before {process!r} finished"
+                    )
+                dispatch(pop(queue))
+        else:
+            sched = self._sched
+            pop_batch = sched.pop_batch
+            dispatch = self._dispatch
+            while not process.triggered:
+                when = sched.peek_time()
+                if when is None:
+                    raise SimulationError(
+                        f"deadlock: event queue drained before {process!r} finished"
+                    )
+                if limit is not None and when > limit:
+                    raise SimulationError(
+                        f"simulation limit {limit} reached before {process!r} finished"
+                    )
+                batch = pop_batch()
+                i = 0
+                n = len(batch)
+                try:
+                    while i < n:
+                        entry = batch[i]
+                        i += 1
+                        dispatch(entry)
+                        # Same stop condition as the heap loop checks
+                        # before each pop: the target completing mid-batch
+                        # leaves the remainder queued.
+                        if sched.preempted or process.triggered:
+                            break
+                finally:
+                    if i < n:
+                        sched.reclaim(batch, i)
         if not process.ok:
             raise process.value
         return process.value

@@ -59,9 +59,16 @@ class Process(Event):
         return self._target
 
     def _resume(self, event: Event) -> None:
-        """Advance the generator by one slice (kernel callback)."""
+        """Advance the generator by one slice (kernel callback).
+
+        Hot path: runs once per yield across every process in the
+        simulation, so ``self.env`` is hoisted to a local (slotted
+        attribute loads are cheap but not free, and this method takes
+        four of them).
+        """
+        env = self.env
         self._target = None
-        self.env._active_process = self
+        env._active_process = self
         try:
             if event.ok:
                 result = self.generator.send(event.value)
@@ -69,14 +76,14 @@ class Process(Event):
                 event.defuse()
                 result = self.generator.throw(event.value)
         except StopIteration as stop:
-            self.env._active_process = None
+            env._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.env._active_process = None
+            env._active_process = None
             self.fail(exc)
             return
-        self.env._active_process = None
+        env._active_process = None
 
         if not isinstance(result, Event):
             self.fail(

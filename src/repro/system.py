@@ -68,7 +68,7 @@ class System:
         metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.config = config or DEFAULT_CONFIG
-        self.env = Environment()
+        self.env = Environment(scheduler=self.config.scheduler)
         self.rng = RngPool(seed)
         #: One instrumentation bus shared by every component of the system.
         self.hooks = hooks if hooks is not None else HookBus()

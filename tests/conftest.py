@@ -6,12 +6,15 @@ import pytest
 
 from repro.config import SystemConfig
 from repro.sim.kernel import Environment
+from repro.sim.sched import scheduler_names
 from repro.system import System
 
 
-@pytest.fixture
-def env() -> Environment:
-    return Environment()
+@pytest.fixture(params=scheduler_names())
+def env(request) -> Environment:
+    """A bare Environment, parametrized over every registered pending-queue
+    strategy — kernel-level unit tests must hold under all of them."""
+    return Environment(scheduler=request.param)
 
 
 @pytest.fixture

@@ -1,0 +1,389 @@
+"""Differential scheduler-equivalence harness.
+
+The kernel's pending-event queue is pluggable (:mod:`repro.sim.sched`);
+the contract is that every strategy dispatches in the exact
+``(time, priority, seq)`` total order the reference binary heap realizes,
+so simulated results are bit-identical.  This suite enforces it at three
+levels:
+
+1. **Op-sequence traces** — Hypothesis-generated programs of schedule/
+   callback/process/late-subscribe operations interpreted against each
+   scheduler, asserting identical ``(dispatch order, now,
+   events_processed, events_scheduled)`` traces, under ``run()``,
+   windowed ``run(until)``, pure ``step()`` driving, and
+   ``run_until_complete``.
+2. **Whole-system equivalence** — the PR 2 oracle matrix and the golden
+   Figure-8 metrics re-run under each non-default scheduler must match
+   the heap bit for bit.
+3. **Mutation kills** — deliberately broken scheduler subclasses (LIFO
+   within a lane, priority-blind lanes) must make the trace harness
+   diverge, proving it has teeth (mirrors
+   ``test_sticky_slot_regression.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError, SchedulingError
+from repro.eval.runner import run_workload, standard_settings
+from repro.sim.kernel import Environment, NORMAL, URGENT
+from repro.sim.sched import (
+    CalendarScheduler,
+    HeapScheduler,
+    register_scheduler,
+    resolve_scheduler,
+    scheduler_descriptions,
+    scheduler_names,
+    unregister_scheduler,
+)
+
+SCHEDULERS = scheduler_names()
+ALT_SCHEDULERS = [name for name in SCHEDULERS if name != "heap"]
+
+
+# --------------------------------------------------------- the op interpreter
+def execute(program, scheduler, driver="run", until=None):
+    """Interpret an op program against one scheduler; return its full trace.
+
+    Ops (recursive — children run inside the parent's callback, i.e. from
+    the dispatch loop itself, which is where batch preemption and window
+    advances can go wrong):
+
+    - ``("timeout", delay, children)``     NORMAL event via Timeout
+    - ``("urgent", delay, children)``      pre-triggered event at URGENT
+    - ``("far", delay)``                   far-future timeout (calendar
+                                           spill-heap path)
+    - ``("late_sub",)``                    subscribe to the most recently
+                                           processed event → URGENT
+                                           schedule_callback at *now*, the
+                                           mid-batch preemption case
+    - ``("call_later", delay, priority)``  event-free deferred call
+    - ``("process", delays)``              generator process yielding
+                                           timeouts
+    """
+    env = Environment(scheduler=scheduler)
+    trace = []
+    ids = itertools.count()
+    done = []
+
+    def fire(tag, ident, children):
+        def callback(event):
+            trace.append((tag, env.now, ident))
+            done.append(event)
+            run_ops(children)
+
+        return callback
+
+    def run_ops(ops):
+        for op in ops:
+            kind = op[0]
+            ident = next(ids)
+            if kind == "timeout":
+                env.timeout(op[1]).subscribe(fire("t", ident, op[2]))
+            elif kind == "urgent":
+                event = env.event()
+                event._ok, event._value = True, None
+                event.callbacks.append(fire("u", ident, op[2]))
+                env.schedule(event, delay=op[1], priority=URGENT)
+            elif kind == "far":
+                env.timeout(op[1]).subscribe(fire("f", ident, ()))
+            elif kind == "late_sub":
+                if done:
+                    done[-1].subscribe(
+                        lambda e, i=ident: trace.append(("l", env.now, i))
+                    )
+                else:
+                    trace.append(("skip", env.now, ident))
+            elif kind == "call_later":
+                env.call_later(
+                    op[1],
+                    lambda arg, i=ident: trace.append(("c", env.now, i)),
+                    priority=op[2],
+                )
+            elif kind == "process":
+
+                def gen(delays=tuple(op[1]), i=ident):
+                    for d in delays:
+                        yield env.timeout(d)
+                        trace.append(("p", env.now, i))
+
+                env.process(gen())
+            else:  # pragma: no cover - grammar guard
+                raise AssertionError(f"unknown op {op!r}")
+
+    run_ops(program)
+    if driver == "run":
+        env.run()
+    elif driver == "windowed":
+        env.run(until=until)
+        trace.append(("window", env.now, -1))
+        env.run()
+    elif driver == "step":
+        while env.queue_length:
+            env.step()
+    else:  # pragma: no cover - grammar guard
+        raise AssertionError(f"unknown driver {driver!r}")
+    return trace, env.now, env.events_processed, env.events_scheduled
+
+
+def _op_strategy():
+    leaf = st.one_of(
+        st.tuples(st.just("far"), st.integers(1500, 9000)),
+        st.just(("late_sub",)),
+        st.tuples(st.just("call_later"), st.integers(0, 50),
+                  st.sampled_from([URGENT, NORMAL])),
+        st.tuples(st.just("process"),
+                  st.lists(st.integers(0, 20), min_size=1, max_size=4)),
+    )
+    return st.recursive(
+        leaf,
+        lambda children: st.one_of(
+            st.tuples(st.just("timeout"), st.integers(0, 50),
+                      st.lists(children, max_size=4)),
+            st.tuples(st.just("urgent"), st.integers(0, 50),
+                      st.lists(children, max_size=4)),
+        ),
+        max_leaves=12,
+    )
+
+
+PROGRAMS = st.lists(_op_strategy(), min_size=1, max_size=10)
+
+
+# ----------------------------------------------------------- trace properties
+@given(program=PROGRAMS)
+@settings(max_examples=80, deadline=None)
+def test_schedulers_produce_identical_traces(program):
+    reference = execute(program, "heap")
+    for name in ALT_SCHEDULERS:
+        assert execute(program, name) == reference, name
+
+
+@given(program=PROGRAMS, until=st.integers(0, 120))
+@settings(max_examples=40, deadline=None)
+def test_windowed_runs_equivalent(program, until):
+    """run(until) then run() — window boundary handling must agree."""
+    reference = execute(program, "heap", driver="windowed", until=until)
+    for name in ALT_SCHEDULERS:
+        assert execute(program, name, driver="windowed", until=until) == \
+            reference, name
+
+
+@given(program=PROGRAMS)
+@settings(max_examples=40, deadline=None)
+def test_step_driven_runs_equivalent(program):
+    """Driving purely via step() exercises the single-pop path."""
+    reference = execute(program, "heap", driver="step")
+    for name in ALT_SCHEDULERS:
+        assert execute(program, name, driver="step") == reference, name
+
+
+@given(delays=st.lists(st.integers(0, 30), min_size=1, max_size=5),
+       program=PROGRAMS)
+@settings(max_examples=40, deadline=None)
+def test_run_until_complete_equivalent(delays, program):
+    """The target completing mid-batch must leave identical state."""
+
+    def run_one(name):
+        env = Environment(scheduler=name)
+        trace = []
+
+        def target():
+            for d in delays:
+                yield env.timeout(d)
+                trace.append(("target", env.now))
+
+        proc = env.process(target())
+        # Background noise from the shared op grammar, same program for
+        # every scheduler (interpreted standalone to seed the queue).
+        for op in program:
+            if op[0] == "timeout":
+                env.timeout(op[1]).subscribe(
+                    lambda e, t=op[1]: trace.append(("bg", env.now))
+                )
+        env.run_until_complete(proc)
+        return trace, env.now, env.events_processed, env.queue_length
+
+    reference = run_one("heap")
+    for name in ALT_SCHEDULERS:
+        assert run_one(name) == reference, name
+
+
+# -------------------------------------------------------- watchdog equivalence
+@pytest.mark.parametrize("name", SCHEDULERS)
+def test_watchdog_firing_point_identical(name):
+    """The watchdog fires inside the first dispatch at/past the deadline —
+    the same cycle regardless of queue strategy or batch shape."""
+    env = Environment(scheduler=name)
+    fires = []
+
+    def watchdog(now):
+        fires.append(now)
+        env.defer_watchdog(now + 25)
+
+    for delay in (10, 20, 20, 30, 60):
+        env.timeout(delay)
+    env.set_watchdog(watchdog, deadline=15)
+    env.run()
+    assert fires == [20, 60]
+
+
+# --------------------------------------------------- whole-system equivalence
+FIG8_QUICK = [("ping-pong", 0.05), ("incast", 0.05)]
+
+
+@pytest.mark.parametrize("name", ALT_SCHEDULERS)
+def test_fig8_metrics_identical_across_schedulers(name):
+    """Golden Figure-8 cells: every metric field must match the heap."""
+    for workload, scale in FIG8_QUICK:
+        for setting in standard_settings():
+            reference = run_workload(
+                workload, setting, scale=scale, seed=7,
+                config=SystemConfig(num_cores=16),
+            )
+            candidate = run_workload(
+                workload, setting, scale=scale, seed=7,
+                config=SystemConfig(num_cores=16, scheduler=name),
+            )
+            assert candidate == reference, (workload, setting.label, name)
+
+
+@pytest.mark.parametrize("name", ALT_SCHEDULERS)
+def test_oracle_matrix_agrees_across_schedulers(name):
+    """The PR 2 differential oracle under each scheduler: every device
+    flavor still delivers the bit-identical canonical stream."""
+    from repro.verify.oracle import run_differential
+    from tests.test_oracle_matrix import matrix_settings
+
+    report = run_differential(
+        "ping-pong", scale=0.02, settings=matrix_settings(),
+        config=SystemConfig(num_cores=16, scheduler=name),
+    )
+    assert report.ok, "\n".join(report.mismatches)
+
+
+# -------------------------------------------------------------- mutation kill
+class _LifoLaneScheduler(CalendarScheduler):
+    """Mutant: breaks the seq tiebreak — LIFO within a (time, prio) lane."""
+
+    def pop_batch(self):
+        batch = super().pop_batch()
+        if batch is not None and len(batch) > 1:
+            batch.reverse()
+        return batch
+
+
+class _PriorityBlindScheduler(CalendarScheduler):
+    """Mutant: drops URGENT-before-NORMAL — everything lands NORMAL."""
+
+    def push(self, entry):
+        if entry[1] == URGENT:
+            entry = (entry[0], NORMAL, entry[2]) + entry[3:]
+        super().push(entry)
+
+
+def test_harness_kills_broken_seq_tiebreak():
+    program = [("timeout", 5, ()), ("timeout", 5, ()), ("timeout", 5, ())]
+    assert execute(program, _LifoLaneScheduler) != execute(program, "heap")
+
+
+def test_harness_kills_broken_urgent_priority():
+    program = [("timeout", 5, ()), ("urgent", 5, ())]
+    assert execute(program, _PriorityBlindScheduler) != execute(program, "heap")
+
+
+def test_mutants_are_otherwise_plausible():
+    """The mutants pass a trivially-ordered program — the kills above are
+    detecting the specific broken guarantee, not generic breakage."""
+    program = [("timeout", 3, ()), ("timeout", 9, ())]
+    reference = execute(program, "heap")
+    assert execute(program, _LifoLaneScheduler) == reference
+    assert execute(program, _PriorityBlindScheduler) == reference
+
+
+# ----------------------------------------------------------- registry plumbing
+def test_registry_resolves_and_reports_names():
+    assert set(SCHEDULERS) >= {"heap", "calendar", "batch"}
+    assert resolve_scheduler("heap") is HeapScheduler
+    with pytest.raises(ConfigError, match="unknown scheduler"):
+        resolve_scheduler("nope")
+    descriptions = scheduler_descriptions()
+    assert all(descriptions[name] for name in SCHEDULERS)
+
+
+def test_register_and_unregister_roundtrip():
+    @register_scheduler("test-local", description="test only")
+    class _Local(HeapScheduler):
+        pass
+
+    try:
+        assert resolve_scheduler("test-local") is _Local
+        with pytest.raises(ConfigError, match="already registered"):
+            register_scheduler("test-local")(_Local)
+    finally:
+        unregister_scheduler("test-local")
+    assert "test-local" not in scheduler_names()
+
+
+def test_config_validates_scheduler_name():
+    assert SystemConfig(scheduler="calendar").scheduler == "calendar"
+    with pytest.raises(ConfigError, match="unknown scheduler"):
+        SystemConfig(scheduler="nope")
+
+
+def test_environment_accepts_factory_and_reports_name():
+    assert Environment().scheduler_name == "heap"
+    assert Environment(scheduler="calendar").scheduler_name == "calendar"
+    assert Environment(scheduler=CalendarScheduler).scheduler_name == "calendar"
+
+
+def test_default_heap_keeps_inline_fast_path():
+    """The default configuration must still run the historical inline heap
+    loop (raw list exposed), so golden fixtures stay byte-identical."""
+    env = Environment()
+    assert env._heap is not None
+    env.timeout(5)
+    assert env._heap[0][0] == 5
+
+
+def test_bucket_schedulers_reject_custom_priorities():
+    for name in ALT_SCHEDULERS:
+        env = Environment(scheduler=name)
+        event = env.event()
+        event._ok, event._value = True, None
+        with pytest.raises(SchedulingError, match="priority lanes"):
+            env.schedule(event, delay=1, priority=2)
+    # The heap keeps accepting arbitrary integer priorities.
+    env = Environment()
+    event = env.event()
+    event._ok, event._value = True, None
+    env.schedule(event, delay=1, priority=7)
+    env.run()
+
+
+def test_calendar_slots_must_be_power_of_two():
+    with pytest.raises(ConfigError, match="power of two"):
+        CalendarScheduler(slots=1000)
+
+
+@pytest.mark.parametrize("name", ALT_SCHEDULERS)
+def test_deep_far_future_spill(name):
+    """Thousands of entries far beyond the calendar window (spill-heap
+    migration path) still dispatch in exact order."""
+    def run_one(sched):
+        env = Environment(scheduler=sched)
+        out = []
+        for i in range(300):
+            delay = (i * 7919) % 50_000  # far beyond the 2048-cycle window
+            env.timeout(delay).subscribe(
+                lambda e, i=i: out.append((env.now, i))
+            )
+        env.run()
+        return out, env.now, env.events_processed
+
+    assert run_one(name) == run_one("heap")

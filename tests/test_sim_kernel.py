@@ -149,3 +149,94 @@ def test_peek_reports_next_event_time(env):
     assert env.peek() is None
     env.timeout(42)
     assert env.peek() == 42
+
+
+# -- step()-vs-run() watchdog symmetry ---------------------------------------
+# step() is public but historically only the inlined run() loops were
+# exercised by the stall-watchdog tests; both funnel through _dispatch, and
+# these tests pin that shared firing point directly.
+
+
+def test_step_fires_watchdog_at_deadline(env):
+    fires = []
+
+    def watchdog(now):
+        fires.append(now)
+        env.defer_watchdog(now + 100)
+
+    for delay in (5, 10, 20):
+        env.timeout(delay)
+    env.set_watchdog(watchdog, deadline=10)
+    env.step()
+    assert fires == []  # t=5 is before the deadline
+    env.step()
+    assert fires == [10]  # first dispatch at/past the deadline
+    env.step()
+    assert fires == [10]  # deferred past t=20
+
+
+def test_step_watchdog_raise_aborts_and_preserves_queue(env):
+    def watchdog(now):
+        raise SimulationError(f"stalled at {now}")
+
+    for delay in (5, 10, 20):
+        env.timeout(delay)
+    env.set_watchdog(watchdog, deadline=10)
+    env.step()
+    with pytest.raises(SimulationError, match="stalled at 10"):
+        env.step()
+    # The failed dispatch consumed its entry; the rest is intact and the
+    # run can resume after the watchdog is cleared.
+    env.clear_watchdog()
+    assert env.queue_length == 1
+    assert env.run() == 20
+
+
+def test_step_refires_watchdog_without_defer(env):
+    fires = []
+    for delay in (5, 6, 7):
+        env.timeout(delay)
+    env.set_watchdog(fires.append, deadline=0)
+    for _ in range(3):
+        env.step()
+    assert fires == [5, 6, 7]
+
+
+def test_step_empty_queue_raises_with_watchdog_armed(env):
+    env.set_watchdog(lambda now: None, deadline=0)
+    with pytest.raises(SimulationError, match="empty event queue"):
+        env.step()
+
+
+# -- run(until=now): the zero-width window -----------------------------------
+
+
+def test_run_until_now_processes_current_cycle_only(env):
+    fired = []
+    env.timeout(0).subscribe(lambda e: fired.append(0))
+    env.timeout(3).subscribe(lambda e: fired.append(3))
+    assert env.run(until=env.now) == 0
+    assert fired == [0]
+    assert env.queue_length == 1
+    env.run()
+    assert fired == [0, 3]
+
+
+def test_run_until_now_includes_work_spawned_at_now(env):
+    fired = []
+
+    def chain(event):
+        fired.append("first")
+        env.timeout(0).subscribe(lambda e: fired.append("second"))
+
+    env.timeout(0).subscribe(chain)
+    env.run(until=env.now)
+    # Zero-delay work scheduled *during* the window still lands inside it.
+    assert fired == ["first", "second"]
+    assert env.now == 0
+
+
+def test_run_until_now_on_empty_queue_is_a_noop(env):
+    env.run(until=25)
+    assert env.run(until=env.now) == 25
+    assert env.events_processed == 0

@@ -230,6 +230,213 @@ def measure_obs_overhead(
     }
 
 
+#: The kernel-stress matrix: (name, steady pending entries, delta spread).
+#: Each cell holds the pending set at a fixed depth (every dispatched tick
+#: schedules one successor) with deterministic pseudo-random delays in
+#: ``[1, spread]``, so events-per-cycle ≈ pending/spread.  These are the
+#: deep-pending rows the ROADMAP's "10x the kernel" item targets (a
+#: 256–1024-core system keeps hundreds-to-thousands of entries in
+#: flight), where O(1) buckets beat O(log n) heap churn — the gated
+#: bench matrix.
+KERNEL_MATRIX = (
+    ("dense-512", 512, 8),
+    ("mixed-1024", 1024, 32),
+    ("deep-4096", 4096, 64),
+)
+
+#: Ungated context rows: C-heapq's home turf.  A 16-core sim queue is
+#: about this deep, and no pure-Python bucket structure beats the C heap
+#: there — recorded so the crossover is visible in the artifact instead
+#: of hidden by matrix choice (docs/PERFORMANCE.md §5).
+KERNEL_CONTEXT = (
+    ("shallow-16", 16, 64),
+)
+
+
+def _kernel_stress(scheduler: str, pending: int, spread: int,
+                   total_events: int, clock=time.perf_counter):
+    """One pure-kernel cell: self-rescheduling deferred calls, no Events.
+
+    Uses :meth:`Environment.call_later` so the measurement isolates queue
+    push/pop/dispatch — no Event or Process allocation dilutes the
+    scheduler difference.  Returns ``(events, wall_s, checksum, now)``;
+    the checksum folds every ``(now, idx)`` dispatch into a rolling hash,
+    so cross-scheduler equality of the tuple proves identical dispatch
+    order, not just identical totals.
+    """
+    from repro.sim.kernel import Environment
+
+    deltas = [1 + (i * 2654435761) % spread for i in range(1024)]
+    env = Environment(scheduler=scheduler)
+    state = [total_events - pending, 0]  # [remaining to spawn, checksum]
+
+    def tick(idx: int) -> None:
+        now = env.now
+        state[1] = (state[1] * 1000003 + (now ^ idx)) & 0xFFFFFFFFFFFF
+        if state[0] > 0:
+            state[0] -= 1
+            env.call_later(deltas[(now + idx) & 1023], tick, idx)
+
+    for i in range(pending):
+        env.call_later(deltas[i & 1023], tick, i)
+    start = clock()
+    env.run()
+    wall = clock() - start
+    return env.events_processed, wall, state[1], env.now
+
+
+def run_kernel_benchmark(
+    schedulers: Optional[Sequence[str]] = None,
+    total_events: int = 300_000,
+    repeats: int = 3,
+    scale: float = QUICK_SCALE,
+    seed: int = 0xC0FFEE,
+    quick: bool = False,
+    clock=time.perf_counter,
+) -> Dict:
+    """Events/sec per scheduler × workload — the BENCH_kernel.json document.
+
+    Two legs per scheduler, equality-asserted before anything is recorded:
+
+    * **kernel** — the pure-queue stress matrix above, best-of-*repeats*
+      wall time per cell, with the dispatch-order checksum required
+      identical across schedulers.
+    * **sim** — the quick Figure-8 matrix end to end, with every metrics
+      dataclass required equal to the heap leg's.
+
+    The committed gate: the calendar queue's aggregate kernel events/sec
+    must beat the heap baseline on this matrix (``gate.pass``).  Timings
+    are otherwise records, not thresholds, like every BENCH_*.json.
+    """
+    from repro.sim.sched import scheduler_names
+
+    schedulers = list(schedulers or scheduler_names())
+    if "heap" in schedulers:  # reference leg first
+        schedulers.sort(key=lambda s: (s != "heap", s))
+    if quick:
+        total_events = min(total_events, 120_000)
+        repeats = min(repeats, 2)
+
+    aggregate = {name: [0, 0.0] for name in schedulers}  # events, wall
+
+    def stress_rows(matrix, gated: bool) -> Dict[str, Dict]:
+        rows: Dict[str, Dict] = {}
+        for workload, pending, spread in matrix:
+            row: Dict[str, Dict] = {}
+            reference = None
+            for name in schedulers:
+                best = None
+                for _ in range(max(1, repeats)):
+                    events, wall, checksum, now = _kernel_stress(
+                        name, pending, spread, total_events, clock=clock
+                    )
+                    if best is None or wall < best[1]:
+                        best = (events, wall, checksum, now)
+                events, wall, checksum, now = best
+                if reference is None:
+                    reference = (events, checksum, now)
+                else:
+                    assert (events, checksum, now) == reference, (
+                        f"{workload}: {name} diverged from "
+                        f"{schedulers[0]}: {(events, checksum, now)} != "
+                        f"{reference}"
+                    )
+                row[name] = {
+                    "events": events,
+                    "wall_s": round(wall, 4),
+                    "events_per_s": round(events / wall) if wall else None,
+                }
+                if gated:
+                    aggregate[name][0] += events
+                    aggregate[name][1] += wall
+            rows[workload] = row
+        return rows
+
+    kernel = stress_rows(KERNEL_MATRIX, gated=True)
+    kernel_context = stress_rows(KERNEL_CONTEXT, gated=False)
+
+    # End-to-end sim leg: same quick Fig-8 matrix per scheduler, metrics
+    # asserted equal — wall-clock differences here are diluted by device
+    # and workload code, which is exactly why both legs are recorded.
+    from repro.config import SystemConfig
+
+    sim: Dict[str, Dict] = {}
+    sim_reference = None
+    sim_identical = True
+    for name in schedulers:
+        config = None if name == "heap" else SystemConfig(scheduler=name)
+        requests = [
+            RunRequest.from_setting(w, setting_by_name(s), scale=scale,
+                                    seed=seed, config=config)
+            for w in QUICK_WORKLOADS
+            for s in QUICK_SETTINGS
+        ]
+        metrics, wall, events = measure_serial(requests, clock=clock)
+        snapshot = [dataclasses.asdict(m) for m in metrics]
+        if sim_reference is None:
+            sim_reference = snapshot
+        elif snapshot != sim_reference:
+            sim_identical = False
+        sim[name] = {
+            "events": events,
+            "wall_s": round(wall, 4),
+            "events_per_s": round(events / wall) if wall else None,
+        }
+    assert sim_identical, "sim metrics diverged across schedulers"
+
+    rates = {
+        name: (events / wall if wall else 0.0)
+        for name, (events, wall) in aggregate.items()
+    }
+    heap_rate = rates.get("heap", 0.0)
+    calendar_rate = rates.get("calendar", 0.0)
+    return {
+        "name": "kernel-scheduler-wallclock",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "matrix": {
+            "kernel": [
+                {"workload": w, "pending": p, "delta_spread": d,
+                 "total_events": total_events}
+                for w, p, d in KERNEL_MATRIX
+            ],
+            "kernel_context": [
+                {"workload": w, "pending": p, "delta_spread": d,
+                 "total_events": total_events}
+                for w, p, d in KERNEL_CONTEXT
+            ],
+            "sim": {
+                "workloads": list(QUICK_WORKLOADS),
+                "settings": list(QUICK_SETTINGS),
+                "scale": scale,
+                "seed": seed,
+            },
+            "repeats": repeats,
+        },
+        "schedulers": schedulers,
+        "kernel": kernel,
+        "kernel_context": kernel_context,
+        "sim": sim,
+        "aggregate_events_per_s": {
+            name: round(rate) for name, rate in rates.items()
+        },
+        "gate": {
+            "metric": "aggregate kernel events/sec, calendar vs heap",
+            "heap_events_per_s": round(heap_rate),
+            "calendar_events_per_s": round(calendar_rate),
+            "ratio": (
+                round(calendar_rate / heap_rate, 3) if heap_rate else None
+            ),
+            "pass": calendar_rate > heap_rate,
+        },
+        "identical": sim_identical,
+    }
+
+
 def run_load_benchmark(
     workload: str = "incast",
     arrival: str = "poisson",
@@ -409,6 +616,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="bench the open-system load sweep "
                              "(repro load: tail latency vs offered load) "
                              "instead of the Fig-8 grid")
+    parser.add_argument("--kernel", action="store_true",
+                        help="bench events/sec per pending-queue scheduler "
+                             "(pure-kernel stress matrix + quick Fig-8 "
+                             "sim leg, equality-asserted; writes "
+                             "BENCH_kernel.json with --out)")
     parser.add_argument("--obs-gate", type=int, default=0, metavar="N",
                         help="run the observability overhead gate instead "
                              "(best-of-N legs; fails if the disabled-"
@@ -431,6 +643,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"FAIL: disabled-observability overhead "
                 f"{result['overhead_disabled_pct']}% exceeds "
                 f"{result['threshold_pct']}%",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    if args.kernel:
+        result = run_kernel_benchmark(
+            scale=args.scale if args.scale is not None else QUICK_SCALE,
+            seed=args.seed,
+            quick=args.quick,
+        )
+        document = json.dumps(result, indent=2, sort_keys=True)
+        print(document)
+        if args.out:
+            Path(args.out).write_text(document + "\n")
+            print(f"wrote {args.out}", file=sys.stderr)
+        if not result["gate"]["pass"]:
+            print(
+                f"FAIL: calendar events/sec "
+                f"{result['gate']['calendar_events_per_s']} did not beat "
+                f"heap {result['gate']['heap_events_per_s']}",
                 file=sys.stderr,
             )
             return 1
