@@ -15,9 +15,19 @@ exception attached; ``PROCESSED`` means its callbacks have run.
 Events never talk to the queue structure directly — they go through
 ``Environment.schedule``/``schedule_callback`` — so they are agnostic to
 the pending-queue strategy (:mod:`repro.sim.sched`): the same Event
-semantics hold under the heap, calendar, and batch schedulers.  Every
-class here carries ``__slots__``; events are allocated per message hop,
-so the per-instance dict would be the kernel's largest allocation.
+semantics hold under the heap, ladder, calendar, and batch schedulers.
+Every class here carries ``__slots__``; events are allocated per message
+hop, so the per-instance dict would be the kernel's largest allocation.
+
+Allocation notes (docs/PERFORMANCE.md §5): most events have exactly zero
+or one subscriber, so the ``callbacks`` slot is *polymorphic* instead of
+eagerly holding a list — ``None`` (no subscriber yet), a bare callable
+(exactly one), a list (two or more), or the :data:`PROCESSED` sentinel
+once the kernel has dispatched the event.  A ping-pong hop therefore
+allocates one ``Event`` and nothing else; the per-event callbacks list
+only exists for genuine fan-out (``AllOf``/``AnyOf`` children with extra
+watchers).  Use :meth:`Event.subscribe` to add callbacks — never touch
+the ``callbacks`` slot directly.
 """
 
 from __future__ import annotations
@@ -31,6 +41,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Sentinel distinguishing "no value yet" from a legitimate ``None`` payload.
 _PENDING = object()
+
+#: Sentinel stored in the ``callbacks`` slot once the kernel has run the
+#: event's callbacks.  Distinct from ``None`` (= "no subscriber yet") so
+#: the no-subscriber state needs no list allocation.
+PROCESSED = object()
 
 
 class Event:
@@ -49,8 +64,10 @@ class Event:
     def __init__(self, env: "Environment", name: Optional[str] = None) -> None:
         self.env = env
         self.name = name
-        #: Callbacks run (in subscription order) when the event is processed.
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        #: Subscriber state: ``None`` | one callable | list | PROCESSED.
+        #: Mutate only through :meth:`subscribe` (the kernel's dispatch is
+        #: the one other writer, when it retires the event).
+        self.callbacks: Any = None
         self._value: Any = _PENDING
         self._ok: bool = True
         self._defused: bool = False
@@ -64,7 +81,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once the event's callbacks have been executed."""
-        return self.callbacks is None
+        return self.callbacks is PROCESSED
 
     @property
     def ok(self) -> bool:
@@ -115,14 +132,22 @@ class Event:
 
     def subscribe(self, callback: Callable[["Event"], None]) -> None:
         """Add *callback*; runs immediately via the queue if already processed."""
-        if self.callbacks is None:
+        cbs = self.callbacks
+        if cbs is None:
+            # First subscriber: store the bare callable — the overwhelmingly
+            # common case (a process resuming, a single watcher), so no
+            # list is allocated at all.
+            self.callbacks = callback
+        elif cbs is PROCESSED:
             # Already processed: schedule an immediate delivery so that the
             # callback still runs from the kernel loop, preserving ordering.
             # This lands URGENT at the current cycle — the case that forces
             # batch-draining schedulers to preempt an in-flight bucket.
             self.env.schedule_callback(callback, self)
+        elif type(cbs) is list:
+            cbs.append(callback)
         else:
-            self.callbacks.append(callback)
+            self.callbacks = [cbs, callback]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         label = self.name or self.__class__.__name__
@@ -146,11 +171,21 @@ class Timeout(Event):
     ) -> None:
         if delay < 0:
             raise SchedulingError(f"negative timeout delay: {delay}")
-        super().__init__(env, name=name or f"Timeout({delay})")
+        # The name stays lazy (rendered by __repr__ on demand): a timeout
+        # is the kernel's most-allocated event, and the f-string per
+        # construction was a measurable share of its cost.
+        super().__init__(env, name=name)
         self.delay = delay
         self._ok = True
         self._value = value
         env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or f"Timeout({self.delay})"
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{label} {state} at t={self.env.now}>"
 
 
 class AnyOf(Event):

@@ -30,14 +30,14 @@ from repro.sim.transaction import TransactionRecord, TxnState
 
 
 # --------------------------------------------------------------------- events
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HookEvent:
     """Base class for every bus event; subscribe to it to observe all."""
 
     tick: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceHook(HookEvent):
     """One of the five Figure-7 trace moments (see :class:`EventKind`).
 
@@ -52,7 +52,7 @@ class TraceHook(HookEvent):
     detail: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransactionHook(HookEvent):
     """A transaction entered a new lifecycle state."""
 
@@ -62,7 +62,7 @@ class TransactionHook(HookEvent):
     detail: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpecBufHook(HookEvent):
     """A speculative push response reached the specBuf (hit or miss)."""
 
@@ -71,7 +71,7 @@ class SpecBufHook(HookEvent):
     hit: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpecDecisionHook(HookEvent):
     """A delay algorithm decided when (or whether) to push speculatively.
 
@@ -90,7 +90,7 @@ class SpecDecisionHook(HookEvent):
     retry: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BusHook(HookEvent):
     """A packet was accepted onto the coherence network."""
 
@@ -98,7 +98,7 @@ class BusHook(HookEvent):
     busy_cycles: int = 0      # cumulative network busy cycles so far
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinkHook(HookEvent):
     """A packet traversed one directed NoC link (:mod:`repro.net`).
 
@@ -115,7 +115,7 @@ class LinkHook(HookEvent):
     wait_cycles: int = 0      # cumulative backpressure cycles at this link
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PushHook(HookEvent):
     """The library issued ``vl_push`` for one message (semantic send)."""
 
@@ -125,7 +125,7 @@ class PushHook(HookEvent):
     transaction_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeliveryHook(HookEvent):
     """A consumer popped one message (the semantic delivery moment)."""
 
@@ -136,7 +136,7 @@ class DeliveryHook(HookEvent):
     transaction_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestHook(HookEvent):
     """An open-system request changed lifecycle state.
 
@@ -158,7 +158,7 @@ class RequestHook(HookEvent):
     sojourn: Optional[int] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LineHook(HookEvent):
     """A consumer cacheline changed occupancy state.
 
@@ -175,7 +175,7 @@ class LineHook(HookEvent):
 
 
 # ----------------------------------------------------------------------- bus
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Subscription:
     """Handle returned by :meth:`HookBus.subscribe`; pass to unsubscribe."""
 
@@ -186,6 +186,8 @@ class Subscription:
 
 class HookBus:
     """Synchronous publish/subscribe fan-out for instrumentation events."""
+
+    __slots__ = ("_subs", "_next_token", "_resolved", "errors")
 
     def __init__(self) -> None:
         self._subs: Dict[Type[HookEvent], List[Subscription]] = {}

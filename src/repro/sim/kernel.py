@@ -14,28 +14,43 @@ Time is an integer cycle count.  All device latencies in this package are
 integral, which keeps the queue keys exact (no float comparisons) and runs
 reproducible bit-for-bit across platforms.
 
-Hot-path notes (see docs/PERFORMANCE.md): for the default ``heap``
-scheduler the dispatch loops in :meth:`Environment.run` and
-:meth:`Environment.run_until_complete` inline the body of
-:meth:`Environment.step` with the raw heap list and ``heappop`` bound to
-locals — a simulation is millions of ``step`` calls, so the attribute
-lookups and the extra frame per event are measurable.  Bucket schedulers
-instead drain whole ``(time, priority)`` batches per queue operation.
-Deferred callbacks (:meth:`Environment.schedule_callback`) ride the queue
-as plain 5-tuples instead of allocating a shim :class:`Event` per call;
-the ``sequence`` tiebreak guarantees tuple comparison never reaches the
-payload slot.
+Hot-path notes (see docs/PERFORMANCE.md §5): the kernel inlines the queue
+ends of its two fastest strategies rather than paying a Python method
+call per event.  A scheduler exposing a raw ``heap`` list gets the
+historical ``heappush``/``heappop`` loop; one exposing a sorted ``spine``
+list (the default ``ladder``) gets ``bisect.insort``/lane-append pushes
+and cursor-indexed dispatch bound straight into :meth:`Environment.run`
+— both ends are C calls plus an index, so steady-state dispatch executes
+no scheduler-side Python frames at all.  Bucket schedulers (``calendar``/``batch``) go
+through the generic batch-draining protocol instead.  Deferred callbacks
+(:meth:`Environment.schedule_callback`, :meth:`Environment.call_later`)
+ride the queue as plain 5-tuples instead of allocating a shim
+:class:`Event` per call; the ``sequence`` tiebreak guarantees tuple
+comparison never reaches the payload slot, and CPython's internal tuple
+freelist recycles the entries themselves (measured faster than a
+Python-level slab — docs/PERFORMANCE.md §5 records the comparison).
+Event dispatch reads the polymorphic ``callbacks`` slot directly: the
+one-subscriber case calls the bare callable without ever materializing a
+callbacks list (see :mod:`repro.sim.event`).
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import SchedulingError, SimulationError
-from repro.sim.event import AllOf, AnyOf, Event, Timeout
+from repro.sim.event import AllOf, AnyOf, Event, PROCESSED, Timeout
 from repro.sim.process import Process
-from repro.sim.sched import resolve_scheduler
+from repro.sim.sched import (
+    DEFAULT_SCHEDULER,
+    LADDER_COMPACT,
+    LADDER_SPINE_CAP,
+    resolve_scheduler,
+)
+
+_heappush = heapq.heappush
 
 #: Priority levels: URGENT callbacks run before NORMAL ones in the same cycle.
 URGENT = 0
@@ -52,16 +67,20 @@ class Environment:
         env.run(until=1_000_000)
 
     *scheduler* selects the pending-queue strategy: a registry name
-    (``"heap"``, ``"calendar"``, ``"batch"`` — see :mod:`repro.sim.sched`)
-    or, for tests, a zero-argument factory returning a scheduler instance.
-    Every strategy dispatches in identical ``(time, priority, seq)``
-    order; only wall-clock speed differs.
+    (``"ladder"`` — the default, ``"heap"``, ``"calendar"``, ``"batch"``
+    — see :mod:`repro.sim.sched`) or, for tests, a zero-argument factory
+    returning a scheduler instance.  Every strategy dispatches in
+    identical ``(time, priority, seq)`` order; only wall-clock speed
+    differs.
     """
 
     __slots__ = (
         "_now",
         "_sched",
         "_heap",
+        "_spine",
+        "_lanes",
+        "_times",
         "_scheduler_name",
         "_seq",
         "_processed",
@@ -73,7 +92,7 @@ class Environment:
     def __init__(
         self,
         initial_time: int = 0,
-        scheduler: Union[str, Callable[[], Any]] = "heap",
+        scheduler: Union[str, Callable[[], Any]] = DEFAULT_SCHEDULER,
     ) -> None:
         self._now: int = int(initial_time)
         if isinstance(scheduler, str):
@@ -85,13 +104,31 @@ class Environment:
                 self._sched, "registry_name", type(self._sched).__name__
             )
         #: Raw heap list when the strategy exposes one (HeapScheduler and
-        #: subclasses); enables the inline fast path so the default
-        #: configuration executes the exact historical dispatch loop.
+        #: subclasses); enables the inline fast path so ``heap``
+        #: configurations execute the exact historical dispatch loop.
         #: Queue entries are ``(time, priority, seq, event)`` for ordinary
         #: events or ``(time, priority, seq, callback, arg)`` for deferred
         #: callbacks (see :meth:`schedule_callback`).  ``seq`` is unique,
         #: so tuple comparisons never reach the payload slots.
         self._heap: Optional[List[Tuple]] = getattr(self._sched, "heap", None)
+        #: Raw sorted spine when the strategy exposes one (LadderScheduler
+        #: and subclasses); enables the second inline fast path —
+        #: ``insort`` pushes below the ladder boundary, direct lane
+        #: appends past it, and cursor-indexed dispatch.  Exposing
+        #: ``spine`` opts a scheduler into the whole inline contract
+        #: (``boundary``/``cursor``/``lanes``/``times``/``spill``/
+        #: ``refill``); the spine, lanes dict and times heap are mutated
+        #: in place by both sides and never rebound.
+        self._spine: Optional[List[Tuple]] = (
+            None if self._heap is not None
+            else getattr(self._sched, "spine", None)
+        )
+        if self._spine is not None:
+            self._lanes: Optional[dict] = self._sched.lanes
+            self._times: Optional[List[int]] = self._sched.times
+        else:
+            self._lanes = None
+            self._times = None
         self._seq: int = 0
         self._processed: int = 0
         self._active_process: Optional[Process] = None
@@ -165,17 +202,50 @@ class Environment:
         return AllOf(self, list(events))
 
     # -- scheduling ----------------------------------------------------------
+    # The three scheduling methods repeat the push branch verbatim
+    # instead of sharing a helper: a shared _push() costs one Python
+    # frame per event on every non-heap path, a measured ~8% of the
+    # deep-stress dispatch loop.  The branch order favours the shipped
+    # default: the ladder's test comes first and the heap fast path pays
+    # one extra pointer compare.  Ladder: entries below the boundary
+    # insort straight into the spine's pending section; entries past it
+    # append straight to the cached per-cycle lanes — at stress depths
+    # nearly every push lands there, and the scheduler-frame round trip
+    # was a measured ~10% of the dispatch loop.  The spill cap check is
+    # amortized through the seq counter (one len() per 64 pushes; the
+    # ≤63-entry overshoot is cut back by the next spill).  Everything
+    # else gets the generic push method.
+
     def schedule(self, event: Event, delay: int = 0, priority: int = NORMAL) -> None:
         """Enqueue a triggered *event* for processing ``delay`` cycles ahead."""
         if delay < 0:
             raise SchedulingError(f"cannot schedule into the past (delay={delay})")
-        entry = (self._now + int(delay), priority, self._seq, event)
-        heap = self._heap
-        if heap is not None:
-            heapq.heappush(heap, entry)
+        seq = self._seq
+        t = self._now + int(delay)
+        entry = (t, priority, seq, event)
+        spine = self._spine
+        if spine is not None:
+            sched = self._sched
+            if t < sched.boundary:
+                cursor = sched.cursor
+                insort(spine, entry, cursor)
+                if not (seq & 63) and len(spine) - cursor > LADDER_SPINE_CAP:
+                    sched.spill()
+            else:
+                lanes = self._lanes
+                lane = lanes.get(t)
+                if lane is None:
+                    lanes[t] = [entry]
+                    _heappush(self._times, t)
+                else:
+                    lane.append(entry)
         else:
-            self._sched.push(entry)
-        self._seq += 1
+            heap = self._heap
+            if heap is not None:
+                heapq.heappush(heap, entry)
+            else:
+                self._sched.push(entry)
+        self._seq = seq + 1
 
     def schedule_callback(self, callback: Callable[[Event], None], event: Event) -> None:
         """Run *callback(event)* for an already-processed event via the queue.
@@ -185,15 +255,35 @@ class Environment:
         :class:`Event` is allocated per call.  It is scheduled URGENT at
         the current cycle, so it runs before any NORMAL work pending for
         this cycle (bucket schedulers preempt a partially-drained batch to
-        honour this; see :mod:`repro.sim.sched`).
+        honour this; the ladder insorts it ahead of everything later — no
+        protocol needed; see :mod:`repro.sim.sched`).
         """
-        entry = (self._now, URGENT, self._seq, callback, event)
-        heap = self._heap
-        if heap is not None:
-            heapq.heappush(heap, entry)
+        seq = self._seq
+        t = self._now
+        entry = (t, URGENT, seq, callback, event)
+        spine = self._spine
+        if spine is not None:
+            sched = self._sched
+            if t < sched.boundary:
+                cursor = sched.cursor
+                insort(spine, entry, cursor)
+                if not (seq & 63) and len(spine) - cursor > LADDER_SPINE_CAP:
+                    sched.spill()
+            else:
+                lanes = self._lanes
+                lane = lanes.get(t)
+                if lane is None:
+                    lanes[t] = [entry]
+                    _heappush(self._times, t)
+                else:
+                    lane.append(entry)
         else:
-            self._sched.push(entry)
-        self._seq += 1
+            heap = self._heap
+            if heap is not None:
+                heapq.heappush(heap, entry)
+            else:
+                self._sched.push(entry)
+        self._seq = seq + 1
 
     def call_later(
         self,
@@ -212,13 +302,32 @@ class Environment:
         """
         if delay < 0:
             raise SchedulingError(f"cannot schedule into the past (delay={delay})")
-        entry = (self._now + int(delay), priority, self._seq, callback, arg)
-        heap = self._heap
-        if heap is not None:
-            heapq.heappush(heap, entry)
+        seq = self._seq
+        t = self._now + int(delay)
+        entry = (t, priority, seq, callback, arg)
+        spine = self._spine
+        if spine is not None:
+            sched = self._sched
+            if t < sched.boundary:
+                cursor = sched.cursor
+                insort(spine, entry, cursor)
+                if not (seq & 63) and len(spine) - cursor > LADDER_SPINE_CAP:
+                    sched.spill()
+            else:
+                lanes = self._lanes
+                lane = lanes.get(t)
+                if lane is None:
+                    lanes[t] = [entry]
+                    _heappush(self._times, t)
+                else:
+                    lane.append(entry)
         else:
-            self._sched.push(entry)
-        self._seq += 1
+            heap = self._heap
+            if heap is not None:
+                heapq.heappush(heap, entry)
+            else:
+                self._sched.push(entry)
+        self._seq = seq + 1
 
     # -- watchdog ------------------------------------------------------------
     def set_watchdog(self, callback: Callable[[int], None], deadline: int) -> None:
@@ -269,9 +378,16 @@ class Environment:
             entry[3](entry[4])
             return
         event = entry[3]
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks or ():
-            callback(event)
+        cbs = event.callbacks
+        event.callbacks = PROCESSED
+        if cbs is not None:
+            if cbs.__class__ is list:
+                for callback in cbs:
+                    callback(event)
+            else:
+                # Single subscriber stored as a bare callable — the common
+                # case; no list was ever allocated for this event.
+                cbs(event)
         if not event.ok and not event.defused:
             # A failed event nobody handled: surface the error loudly.
             raise event.value
@@ -345,6 +461,73 @@ class Environment:
                 if until is not None and queue[0][0] > until:
                     break
                 dispatch(pop(queue))
+        elif self._spine is not None:
+            # Ladder hot loop: dispatch by advancing a cursor over the
+            # sorted spine — an index and an attribute store per event,
+            # no pop, no memmove.  The cursor is mirrored in a local;
+            # the store *before* each dispatch is load-bearing (callbacks
+            # push via `insort(spine, entry, sched.cursor)`).  Retired
+            # entries compact away in one del-slice per LADDER_COMPACT
+            # events.  Like the batch-draining loops below, this assumes
+            # callbacks never re-enter run()/step().
+            # The dispatch body is inlined here (verbatim from
+            # :meth:`_dispatch`, which stays the single source for
+            # step()/run_until_complete()/the batch loops): one Python
+            # frame per event is the single largest remaining cost at
+            # shallow depths, and this loop is the steady-state path of
+            # the shipped default.  Counter and clock stores happen
+            # before the payload call, exactly as in _dispatch, so
+            # callbacks and watchdogs observe identical state.
+            sched = self._sched
+            spine = self._spine
+            refill = sched.refill
+            cursor = sched.cursor
+            compact = LADDER_COMPACT
+            # A no-window run uses an unreachable sentinel so the window
+            # test stays one int compare per event (no None check).
+            limit = (1 << 62) if until is None else until
+            while True:
+                try:
+                    # Zero-cost try (3.11+): the exhausted-spine case
+                    # is rarer than one per refill chunk, so indexing
+                    # and catching beats a len() compare per event.
+                    entry = spine[cursor]
+                except IndexError:
+                    if refill():
+                        cursor = 0
+                        continue
+                    break
+                when = entry[0]
+                if when > limit:
+                    break
+                if when < self._now:  # pragma: no cover - invariant guard
+                    raise SchedulingError(
+                        "event queue corrupted: time went backwards"
+                    )
+                sched.cursor = cursor + 1
+                self._now = when
+                if self._watchdog is not None and when >= self._watchdog_after:
+                    self._watchdog(when)
+                self._processed += 1
+                if len(entry) == 5:
+                    entry[3](entry[4])
+                else:
+                    event = entry[3]
+                    cbs = event.callbacks
+                    event.callbacks = PROCESSED
+                    if cbs is not None:
+                        if cbs.__class__ is list:
+                            for callback in cbs:
+                                callback(event)
+                        else:
+                            cbs(event)
+                    if not event.ok and not event.defused:
+                        raise event.value
+                cursor += 1
+                if cursor >= compact:
+                    del spine[:cursor]
+                    cursor = 0
+                    sched.cursor = 0
         else:
             sched = self._sched
             pop_batch = sched.pop_batch
@@ -386,6 +569,31 @@ class Environment:
                         f"simulation limit {limit} reached before {process!r} finished"
                     )
                 dispatch(pop(queue))
+        elif self._spine is not None:
+            sched = self._sched
+            spine = self._spine
+            refill = sched.refill
+            dispatch = self._dispatch
+            cursor = sched.cursor
+            while not process.triggered:
+                if cursor >= len(spine):
+                    if not refill():
+                        raise SimulationError(
+                            f"deadlock: event queue drained before {process!r} finished"
+                        )
+                    cursor = 0
+                entry = spine[cursor]
+                if limit is not None and entry[0] > limit:
+                    raise SimulationError(
+                        f"simulation limit {limit} reached before {process!r} finished"
+                    )
+                sched.cursor = cursor + 1
+                dispatch(entry)
+                cursor += 1
+                if cursor >= LADDER_COMPACT:
+                    del spine[:cursor]
+                    cursor = 0
+                    sched.cursor = 0
         else:
             sched = self._sched
             pop_batch = sched.pop_batch

@@ -43,7 +43,7 @@ class Process(Event):
         # Kick the process off via an immediately-triggered init event so its
         # first slice runs from the kernel loop, not from the constructor.
         init = Event(env, name=f"init:{self.name}")
-        init.callbacks.append(self._resume)
+        init.callbacks = self._resume  # sole subscriber — no list needed
         init._ok = True
         init._value = None
         env.schedule(init)

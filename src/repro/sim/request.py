@@ -155,6 +155,9 @@ class RequestLog:
     listens) a :class:`~repro.sim.hooks.RequestHook`.
     """
 
+    __slots__ = ("hooks", "active", "_records", "_next_id", "sojourn_stats",
+                 "completed")
+
     def __init__(self, hooks: Optional["HookBus"] = None) -> None:
         self.hooks = hooks
         self.active = False

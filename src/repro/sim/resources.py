@@ -8,6 +8,11 @@ Three primitives cover every contention point in the modelled system:
   queues inside the routing device).
 * :class:`FifoServer` — a single server that items occupy for a service time
   (the coherence-network bus); tracks busy cycles for utilization metrics.
+
+All three carry ``__slots__`` (a system builds hundreds of them) and
+precompute their grant-event names once in ``__init__`` — ``acquire``/
+``put``/``get`` run per message hop, and the f-string per call showed up
+in the sim-leg profile (docs/PERFORMANCE.md §5).
 """
 
 from __future__ import annotations
@@ -25,6 +30,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Resource:
     """A counted resource with FIFO-queued acquire requests."""
 
+    __slots__ = ("env", "name", "capacity", "_in_use", "_waiters",
+                 "_acquire_name")
+
     def __init__(self, env: "Environment", capacity: int, name: str = "resource") -> None:
         if capacity < 1:
             raise SimulationError(f"{name}: capacity must be >= 1, got {capacity}")
@@ -33,6 +41,7 @@ class Resource:
         self.capacity = capacity
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
+        self._acquire_name = f"acquire:{name}"
 
     @property
     def in_use(self) -> int:
@@ -44,7 +53,7 @@ class Resource:
 
     def acquire(self) -> Event:
         """Return an event that fires when one unit has been granted."""
-        ev = Event(self.env, name=f"acquire:{self.name}")
+        ev = Event(self.env, name=self._acquire_name)
         if self._in_use < self.capacity:
             self._in_use += 1
             ev.succeed()
@@ -73,6 +82,9 @@ class Resource:
 class Store:
     """FIFO item buffer with blocking ``get``/``put`` and optional capacity."""
 
+    __slots__ = ("env", "name", "capacity", "_items", "_getters", "_putters",
+                 "_put_name", "_get_name")
+
     def __init__(
         self,
         env: "Environment",
@@ -87,6 +99,8 @@ class Store:
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[tuple] = deque()  # (event, pending item) pairs
+        self._put_name = f"put:{name}"
+        self._get_name = f"get:{name}"
 
     def __len__(self) -> int:
         return len(self._items)
@@ -98,7 +112,7 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Deposit *item*; blocks (event stays pending) while full."""
-        ev = Event(self.env, name=f"put:{self.name}")
+        ev = Event(self.env, name=self._put_name)
         if self._getters:
             # Hand directly to the oldest waiting getter.
             self._getters.popleft().succeed(item)
@@ -122,7 +136,7 @@ class Store:
 
     def get(self) -> Event:
         """Return an event yielding the oldest item."""
-        ev = Event(self.env, name=f"get:{self.name}")
+        ev = Event(self.env, name=self._get_name)
         if self._items:
             item = self._items.popleft()
             self._admit_blocked_putter()
@@ -153,6 +167,9 @@ class FifoServer:
     for ``service_time`` cycles (its *occupancy*); total busy cycles divided
     by elapsed time is the bus utilization reported in Figure 10b.
     """
+
+    __slots__ = ("env", "name", "service_time", "_free_at", "busy_cycles",
+                 "packets_served")
 
     def __init__(self, env: "Environment", service_time: int, name: str = "bus") -> None:
         if service_time < 0:

@@ -19,6 +19,8 @@ import numpy as np
 class RngPool:
     """A pool of named, independent ``numpy.random.Generator`` streams."""
 
+    __slots__ = ("master_seed", "_streams")
+
     def __init__(self, master_seed: int = 0xC0FFEE) -> None:
         self.master_seed = int(master_seed)
         self._streams: Dict[str, np.random.Generator] = {}

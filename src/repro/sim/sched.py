@@ -23,13 +23,25 @@ by ``tests/test_kernel_equivalence.py`` (differential Hypothesis traces,
 the oracle matrix and the golden Figure-8 metrics, all parametrized over
 registered schedulers).
 
-Three implementations ship:
+Four implementations ship:
+
+``ladder`` (default)
+    A two-tier ladder queue: a small *sorted spine* (ascending list the
+    kernel drains with a dispatch cursor — an index increment per event,
+    no memmove, no comparisons) absorbs shallow pending sets, and
+    overflow *per-cycle lanes* (dict + distinct-time heap) absorb deep
+    ones; the spine compacts and refills from the earliest lanes when it
+    drains.  The kernel inlines both ends (``insort``/lane-append push,
+    cursor-indexed dispatch), so it beats
+    the heap at the shallow depths real simulations run at *and* holds
+    the O(1)-bucket advantage at stress depths — the measured crossover
+    that earned it the default (docs/PERFORMANCE.md §5).
 
 ``heap``
     The reference binary heap (:mod:`heapq`).  O(log n) per operation but
-    C-accelerated and unbeatable at the shallow pending sets (tens of
-    entries) a 16-core run produces.  The kernel inlines a fast path for
-    it, so the default configuration executes the exact historical loop.
+    C-accelerated and historically the default; the kernel inlines a
+    fast path for it, so ``scheduler="heap"`` executes the exact
+    pre-registry loop.
 
 ``calendar``
     A slotted calendar queue: a power-of-two ring of per-cycle buckets
@@ -69,18 +81,31 @@ heap-equivalent:
   and is safe to call at any point.
 
 Bucket schedulers support the kernel's two priority lanes (``URGENT=0``,
-``NORMAL=1``); the heap additionally accepts arbitrary integer priorities.
+``NORMAL=1``); the heap and the ladder additionally accept arbitrary
+integer priorities (both realize the order through full-tuple
+comparisons, never through a fixed lane pair).
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left, insort
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError, SchedulingError
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
+
+#: The scheduler :class:`~repro.sim.kernel.Environment` and
+#: :class:`~repro.config.SystemConfig` build when the caller names none.
+#: Flipped from ``heap`` to ``ladder`` on the measured evidence in the
+#: committed ``BENCH_kernel.json``: the ladder is at least as fast on the
+#: shallow-16 leg and the real sim leg, and ≥1.3× the heap on the
+#: deep-pending stress aggregate (docs/PERFORMANCE.md §5 has the tables
+#: and the crossover explanation).  Simulated results are bit-identical
+#: by the equivalence-harness contract, so the flip is wall-clock-only.
+DEFAULT_SCHEDULER = "ladder"
 
 
 # ------------------------------------------------------------------- registry
@@ -463,3 +488,210 @@ class CalendarScheduler:
 
     def __len__(self) -> int:
         return self._ring_len + len(self._overflow)
+
+
+# --------------------------------------------------------------------- ladder
+#: Pending-spine size past which the ladder spills its tail into lanes.
+#: Chosen from the measured sorted-list-vs-heap crossover:
+#: `bisect.insort` beats `heappush` while the insertion memmove stays a
+#: few cache lines, and loses past a few hundred entries
+#: (docs/PERFORMANCE.md §5).  The kernel's inline push reads this
+#: constant, so it must stay in sync with
+#: :meth:`LadderScheduler.spill`'s expectations (any positive value is
+#: correct; only speed changes).
+LADDER_SPINE_CAP = 256
+
+#: How many entries a refill tries to pull back into the spine.  Large
+#: enough to amortize the per-refill sort call, small enough that the
+#: spine's pending section stays a few cache lines.  Refills always move
+#: *whole cycles*, so the actual chunk can exceed this for dense
+#: same-cycle bursts.
+LADDER_REFILL_TARGET = 64
+
+#: Length of the retired (already-dispatched) spine prefix past which it
+#: is compacted away.  Dispatch advances ``cursor`` instead of popping —
+#: O(1), no memmove — so retired entries accumulate at the front until a
+#: single ``del spine[:cursor]`` reclaims them; at 512 the amortized cost
+#: is one pointer move per dispatched event.
+LADDER_COMPACT = 512
+
+#: Boundary value meaning "no lanes: every entry belongs in the spine".
+#: Plain int so boundary comparisons stay exact integer compares.
+_NO_LANES = 1 << 62
+
+
+@register_scheduler("ladder", description="two-tier ladder queue: sorted "
+                    "spine drained by a dispatch cursor + per-cycle "
+                    "overflow lanes; wins at sim-leg *and* stress depths")
+class LadderScheduler:
+    """Two-tier ladder queue: sorted spine + per-cycle overflow lanes.
+
+    **Invariant:** every pending spine entry has ``time < boundary``;
+    every lane entry has ``time >= boundary``.  The spine is a list whose
+    pending section ``spine[cursor:]`` is ascending-sorted; entries
+    before ``cursor`` are already dispatched and only await compaction
+    (a single ``del spine[:cursor]`` every :data:`LADDER_COMPACT`
+    events), so dispatch is an index + cursor increment — O(1), no
+    memmove, no comparisons, no batch machinery, no preemption protocol.
+    Pushes below the boundary ``bisect.insort`` into the pending section
+    (``lo=cursor`` — the retired prefix is *not* globally sorted against
+    new same-cycle URGENT entries, so the bound is load-bearing); pushes
+    at or past the boundary append to a per-cycle lane (dict + heap of
+    distinct cycles), which keeps deep pending sets O(1) per push.  The
+    kernel inlines both paths, reading ``boundary``/``cursor``/``lanes``
+    /``times`` directly — exposing ``spine`` opts a scheduler into that
+    whole contract.  When the spine drains, :meth:`refill` compacts it
+    and pulls the earliest whole cycles back (Timsort over nearly-sorted
+    runs, effectively linear), advancing the boundary.
+
+    Because dispatch is always single-entry from a totally ordered
+    pending section, the heap-equivalence argument is direct: ``(time,
+    priority, seq)`` order holds by construction, for *arbitrary*
+    integer priorities — the ladder, unlike the bucket schedulers, never
+    fixes a lane count per cycle.  ``preempted`` is permanently
+    ``False``: an URGENT entry scheduled mid-cycle insorts ahead of
+    everything later and is simply the next dispatch.
+    """
+
+    __slots__ = ("spine", "boundary", "cursor", "lanes", "times")
+
+    preempted = False  # single-entry dispatch: nothing to preempt
+
+    def __init__(self) -> None:
+        #: The sorted near-future tier.  The kernel binds this exact list
+        #: object into its dispatch loop — it is mutated in place
+        #: (insort/extend/sort/del-slice) and NEVER rebound.
+        self.spine: List[Tuple] = []
+        #: First cycle owned by the lanes (``_NO_LANES`` when they are
+        #: empty).  Kernel-inlined pushes compare against this directly.
+        self.boundary: int = _NO_LANES
+        #: Index of the next pending spine entry; ``spine[:cursor]`` is
+        #: dispatched garbage awaiting compaction.  The kernel's run loop
+        #: mirrors this in a local and writes it back before every
+        #: dispatch, so pushes from inside callbacks always see it fresh.
+        self.cursor: int = 0
+        self.lanes: Dict[int, List[Tuple]] = {}
+        self.times: List[int] = []
+
+    # -- internal helpers ---------------------------------------------------
+    def _lane_append(self, entry: Tuple) -> None:
+        t = entry[0]
+        lane = self.lanes.get(t)
+        if lane is None:
+            self.lanes[t] = [entry]
+            _heappush(self.times, t)
+        else:
+            lane.append(entry)
+
+    def spill(self) -> None:
+        """Move the spine's pending tail into the lanes (it grew past the
+        cap).
+
+        The cut lands on a *time* boundary (all entries of one cycle stay
+        on one side) so the invariant survives; if every pending entry
+        shares one cycle the spill is skipped — the spine is then bounded
+        by that single cycle's event count, which no structure can split.
+        Never touches ``cursor`` (the kernel's run loop caches it in a
+        local across the dispatch that triggered this spill).
+        """
+        spine = self.spine
+        cursor = self.cursor
+        mid = cursor + (len(spine) - cursor) // 2
+        t = spine[mid][0]
+        # First pending index with time == t: (t,) compares below every
+        # real entry at t (a shorter tuple prefix sorts first).  The
+        # search starts at the cursor — the retired prefix may hold
+        # same-cycle entries that sort *after* a new URGENT entry.
+        cut = bisect_left(spine, (t,), cursor)
+        if cut == cursor:
+            return
+        for entry in spine[cut:]:
+            self._lane_append(entry)
+        del spine[cut:]
+        self.boundary = t
+
+    def refill(self) -> bool:
+        """Compact the drained spine and pull the earliest whole cycles
+        back from the lanes; returns True when entries arrived.
+
+        Safe under the pop-implies-dispatch contract: refill only runs
+        between dispatches, so no concurrent push can land below the new
+        boundary before the clock catches up.  The chunk is sorted as a
+        whole because lanes are per-cycle FIFO *except* after a spill,
+        which may append an older-seq run behind newer direct pushes —
+        Timsort over the few resulting runs is near-linear.
+        """
+        spine = self.spine
+        if self.cursor:
+            del spine[:self.cursor]
+            self.cursor = 0
+        times = self.times
+        if not times:
+            self.boundary = _NO_LANES
+            return False
+        lanes = self.lanes
+        moved = 0
+        while times and moved < LADDER_REFILL_TARGET:
+            batch = lanes.pop(_heappop(times))
+            spine.extend(batch)
+            moved += len(batch)
+        self.boundary = times[0] if times else _NO_LANES
+        spine.sort()
+        return True
+
+    # -- protocol -----------------------------------------------------------
+    def push(self, entry: Tuple) -> None:
+        t = entry[0]
+        if t < self.boundary:
+            spine = self.spine
+            cursor = self.cursor
+            insort(spine, entry, cursor)
+            if len(spine) - cursor > LADDER_SPINE_CAP:
+                self.spill()
+        else:
+            # Lane append, inlined (the kernel inlines this same branch;
+            # this copy serves reclaim, tests, and non-kernel callers).
+            lane = self.lanes.get(t)
+            if lane is None:
+                self.lanes[t] = [entry]
+                _heappush(self.times, t)
+            else:
+                lane.append(entry)
+
+    def pop(self) -> Tuple:
+        spine = self.spine
+        cursor = self.cursor
+        if cursor >= len(spine):
+            if not self.refill():
+                raise IndexError("pop from an empty scheduler")
+            cursor = 0
+        entry = spine[cursor]
+        cursor += 1
+        if cursor >= LADDER_COMPACT:
+            del spine[:cursor]
+            self.cursor = 0
+        else:
+            self.cursor = cursor
+        return entry
+
+    def pop_batch(self) -> Optional[List[Tuple]]:
+        """Singleton batches — the ladder is a single-entry dispatcher."""
+        if self.cursor >= len(self.spine) and not self.refill():
+            return None
+        return [self.pop()]
+
+    def reclaim(self, batch: List[Tuple], index: int) -> None:
+        for entry in batch[index:]:
+            self.push(entry)
+
+    def peek_time(self) -> Optional[int]:
+        spine = self.spine
+        cursor = self.cursor
+        if cursor < len(spine):
+            return spine[cursor][0]
+        times = self.times
+        return times[0] if times else None
+
+    def __len__(self) -> int:
+        return (len(self.spine) - self.cursor
+                + sum(map(len, self.lanes.values())))

@@ -21,6 +21,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Counter:
     """A named bundle of integer event counters."""
 
+    __slots__ = ("_counts",)
+
     def __init__(self) -> None:
         self._counts: Dict[str, int] = {}
 
@@ -44,6 +46,8 @@ class StateTimer:
     toggling between ``"empty"`` and ``"valid"``; at the end of the run the
     accumulated cycles are averaged across lines.
     """
+
+    __slots__ = ("env", "_state", "_since", "_accum")
 
     def __init__(self, env: "Environment", initial_state: Hashable) -> None:
         self.env = env
@@ -76,6 +80,8 @@ class StateTimer:
 
 class RunningStats:
     """Streaming mean/variance/min/max plus an optional sample reservoir."""
+
+    __slots__ = ("n", "_mean", "_m2", "minimum", "maximum", "_samples")
 
     def __init__(self, keep_samples: bool = False) -> None:
         self.n = 0

@@ -36,7 +36,7 @@ class EventKind(Enum):
     FIRST_USE = "1st data use"
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEvent:
     """One timestamped occurrence within a transaction."""
 
@@ -47,7 +47,7 @@ class TraceEvent:
     detail: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class Transaction:
     """A reconstructed message delivery (one line of markers in Figure 7)."""
 
@@ -100,6 +100,8 @@ class Transaction:
 
 class TraceRecorder:
     """Collects trace events; disabled recorders are near-zero-cost."""
+
+    __slots__ = ("env", "enabled", "events", "_next_id", "_attached")
 
     def __init__(self, env: "Environment", enabled: bool = True) -> None:
         self.env = env

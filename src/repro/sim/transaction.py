@@ -191,6 +191,8 @@ class TransactionLog:
     but the log keeps no reference, so long runs don't accumulate memory.
     """
 
+    __slots__ = ("retain", "_next_id", "_records")
+
     def __init__(self, retain: bool = False) -> None:
         self.retain = retain
         self._next_id: Dict[str, int] = {}

@@ -88,7 +88,7 @@ def execute(program, scheduler, driver="run", until=None):
             elif kind == "urgent":
                 event = env.event()
                 event._ok, event._value = True, None
-                event.callbacks.append(fire("u", ident, op[2]))
+                event.subscribe(fire("u", ident, op[2]))
                 env.schedule(event, delay=op[1], priority=URGENT)
             elif kind == "far":
                 env.timeout(op[1]).subscribe(fire("f", ident, ()))
@@ -308,7 +308,7 @@ def test_mutants_are_otherwise_plausible():
 
 # ----------------------------------------------------------- registry plumbing
 def test_registry_resolves_and_reports_names():
-    assert set(SCHEDULERS) >= {"heap", "calendar", "batch"}
+    assert set(SCHEDULERS) >= {"heap", "ladder", "calendar", "batch"}
     assert resolve_scheduler("heap") is HeapScheduler
     with pytest.raises(ConfigError, match="unknown scheduler"):
         resolve_scheduler("nope")
@@ -337,33 +337,42 @@ def test_config_validates_scheduler_name():
 
 
 def test_environment_accepts_factory_and_reports_name():
-    assert Environment().scheduler_name == "heap"
+    assert Environment().scheduler_name == "ladder"
     assert Environment(scheduler="calendar").scheduler_name == "calendar"
     assert Environment(scheduler=CalendarScheduler).scheduler_name == "calendar"
 
 
-def test_default_heap_keeps_inline_fast_path():
-    """The default configuration must still run the historical inline heap
-    loop (raw list exposed), so golden fixtures stay byte-identical."""
+def test_inline_fast_paths_exposed():
+    """The default (ladder) must expose its raw spine and the heap opt-in
+    its raw list — both inline dispatch loops depend on these attributes,
+    and golden fixtures depend on the loops staying live."""
     env = Environment()
-    assert env._heap is not None
+    assert env._spine is not None and env._heap is None
+    env.timeout(5)
+    assert env._spine[0][0] == 5
+
+    env = Environment(scheduler="heap")
+    assert env._heap is not None and env._spine is None
     env.timeout(5)
     assert env._heap[0][0] == 5
 
 
 def test_bucket_schedulers_reject_custom_priorities():
-    for name in ALT_SCHEDULERS:
+    for name in ("calendar", "batch"):
         env = Environment(scheduler=name)
         event = env.event()
         event._ok, event._value = True, None
         with pytest.raises(SchedulingError, match="priority lanes"):
             env.schedule(event, delay=1, priority=2)
-    # The heap keeps accepting arbitrary integer priorities.
-    env = Environment()
-    event = env.event()
-    event._ok, event._value = True, None
-    env.schedule(event, delay=1, priority=7)
-    env.run()
+    # The heap and the ladder accept arbitrary integer priorities (both
+    # realize the order through full-tuple comparisons).
+    for name in ("heap", "ladder"):
+        env = Environment(scheduler=name)
+        event = env.event()
+        event._ok, event._value = True, None
+        env.schedule(event, delay=1, priority=7)
+        env.run()
+        assert event.processed
 
 
 def test_calendar_slots_must_be_power_of_two():

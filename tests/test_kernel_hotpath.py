@@ -1,0 +1,300 @@
+"""Hot-path regression tests: `__slots__` coverage, polymorphic callbacks,
+``call_later`` edge cases, and the ladder scheduler's tier mechanics.
+
+The allocation-free dispatch work (PERFORMANCE.md §5) rests on three
+properties that nothing else in the suite pins directly:
+
+* every per-event / per-component class in ``sim/`` carries ``__slots__``
+  (an instance ``__dict__`` would be the kernel's largest allocation);
+* the ``Event.callbacks`` slot is polymorphic (None | callable | list |
+  PROCESSED) and all four states behave identically to the old
+  always-a-list protocol;
+* the ladder's spill/refill machinery preserves exact dispatch order
+  around its spine-capacity boundary.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro.sim.event
+import repro.sim.hooks
+import repro.sim.process
+import repro.sim.request
+import repro.sim.resources
+import repro.sim.rng
+import repro.sim.stats
+import repro.sim.trace
+import repro.sim.transaction
+from repro.errors import SchedulingError
+from repro.sim.event import Event, PROCESSED
+from repro.sim.kernel import Environment, NORMAL, URGENT
+from repro.sim.sched import (
+    LADDER_REFILL_TARGET,
+    LADDER_SPINE_CAP,
+    LadderScheduler,
+)
+
+
+# ------------------------------------------------------------ __slots__ audit
+#: Modules whose classes must all be slotted (allocated per event, per
+#: message hop, or per component — see each module's docstring).
+_AUDITED_MODULES = [
+    repro.sim.event,
+    repro.sim.process,
+    repro.sim.resources,
+    repro.sim.hooks,
+    repro.sim.stats,
+    repro.sim.trace,
+    repro.sim.request,
+    repro.sim.transaction,
+    repro.sim.rng,
+]
+
+
+def _audited_classes():
+    for module in _AUDITED_MODULES:
+        for name, cls in inspect.getmembers(module, inspect.isclass):
+            if cls.__module__ != module.__name__:
+                continue  # re-exported import, audited in its own module
+            if issubclass(cls, (Exception, tuple)) or hasattr(cls, "_member_map_"):
+                continue  # enums and NamedTuples manage their own layout
+            yield pytest.param(cls, id=f"{module.__name__}.{name}")
+
+
+@pytest.mark.parametrize("cls", list(_audited_classes()))
+def test_sim_classes_define_slots(cls):
+    """No class in the audited modules may reintroduce a per-instance dict.
+
+    ``__slots__`` only suppresses the dict if every class in the MRO
+    (below ``object``) defines it, so the assertion checks the layout
+    outcome — ``__dict__`` must be absent from instances — not just the
+    attribute's presence on one class.
+    """
+    for klass in cls.__mro__[:-1]:
+        assert "__slots__" in klass.__dict__, (
+            f"{klass.__qualname__} (in {cls.__qualname__}'s MRO) lacks "
+            f"__slots__ — instances of {cls.__qualname__} would carry a dict"
+        )
+
+
+# --------------------------------------------------- polymorphic callbacks slot
+def test_event_with_no_subscribers_dispatches(env):
+    ev = env.event()
+    ev.succeed("payload")
+    env.run()
+    assert ev.processed and ev.callbacks is PROCESSED
+
+
+def test_single_subscriber_needs_no_list(env):
+    got = []
+    ev = env.event()
+    ev.subscribe(lambda e: got.append(e.value))
+    assert callable(ev.callbacks) and not isinstance(ev.callbacks, list)
+    ev.succeed(41)
+    env.run()
+    assert got == [41]
+
+
+def test_second_subscriber_promotes_to_list(env):
+    got = []
+    ev = env.event()
+    ev.subscribe(lambda e: got.append("a"))
+    ev.subscribe(lambda e: got.append("b"))
+    ev.subscribe(lambda e: got.append("c"))
+    assert isinstance(ev.callbacks, list) and len(ev.callbacks) == 3
+    ev.succeed()
+    env.run()
+    assert got == ["a", "b", "c"]
+
+
+def test_late_subscribe_after_processed_still_delivers(env):
+    ev = env.event()
+    ev.succeed("v")
+    env.run()
+    got = []
+    ev.subscribe(lambda e: got.append(e.value))
+    assert got == []  # delivery goes through the queue, not inline
+    env.run()
+    assert got == ["v"]
+
+
+def test_subscribe_during_dispatch_of_same_event(env):
+    """A callback adding another subscriber to its own (now PROCESSED)
+    event must schedule it, not mutate the retired slot."""
+    got = []
+
+    def first(e):
+        got.append("first")
+        e.subscribe(lambda e2: got.append("second"))
+
+    ev = env.event()
+    ev.subscribe(first)
+    ev.succeed()
+    env.run()
+    assert got == ["first", "second"]
+
+
+# ----------------------------------------------------------- call_later edges
+def test_call_later_negative_delay_rejected(env):
+    with pytest.raises(SchedulingError, match="past"):
+        env.call_later(-1, lambda arg: None)
+
+
+def test_call_later_zero_delay_urgent_beats_normal(env):
+    """Two zero-delay calls for the current cycle: the URGENT one runs
+    first even though it was scheduled second (priority before seq)."""
+    order = []
+    env.call_later(0, lambda arg: order.append("normal"), priority=NORMAL)
+    env.call_later(0, lambda arg: order.append("urgent"), priority=URGENT)
+    env.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_call_later_zero_delay_runs_in_current_cycle(env):
+    """run(until=now) is a zero-width window: a zero-delay call fires
+    inside it and the clock does not move."""
+    fired = []
+    env.timeout(3)
+    env.run()
+    env.call_later(0, lambda arg: fired.append(env.now))
+    env.timeout(1)  # strictly later; must survive the window
+    env.run(until=env.now)
+    assert fired == [3] and env.now == 3 and env.queue_length == 1
+
+
+def test_call_later_urgent_preempts_partially_drained_batch(env):
+    """A NORMAL callback scheduling an URGENT call for the *same* cycle:
+    the URGENT call must run before the rest of the NORMAL batch (the
+    bucket schedulers' preempt-and-reclaim path; the heap and ladder get
+    it from plain entry ordering)."""
+    order = []
+
+    def first(arg):
+        order.append("n1")
+        env.call_later(0, lambda a: order.append("urgent"), priority=URGENT)
+
+    env.call_later(5, first, priority=NORMAL)
+    env.call_later(5, lambda a: order.append("n2"), priority=NORMAL)
+    env.call_later(5, lambda a: order.append("n3"), priority=NORMAL)
+    env.run()
+    assert order == ["n1", "urgent", "n2", "n3"]
+
+
+def test_call_later_reclaim_interleaves_repeatedly(env):
+    """Repeated mid-batch preemption: every NORMAL callback spawns an
+    URGENT one, forcing a reclaim per dispatch.  Order must match the
+    heap's exactly (the fixture parametrizes over all schedulers, so this
+    is the differential assertion in miniature)."""
+    order = []
+
+    def make_normal(i):
+        def cb(arg):
+            order.append(("n", i))
+            env.call_later(0, lambda a, i=i: order.append(("u", i)),
+                           priority=URGENT)
+        return cb
+
+    for i in range(4):
+        env.call_later(2, make_normal(i), priority=NORMAL)
+    env.run()
+    assert order == [
+        ("n", 0), ("u", 0), ("n", 1), ("u", 1),
+        ("n", 2), ("u", 2), ("n", 3), ("u", 3),
+    ]
+
+
+def test_call_later_passes_argument(env):
+    got = []
+    env.call_later(4, got.append, arg={"k": 1})
+    env.run()
+    assert got == [{"k": 1}] and env.now == 4
+
+
+# ------------------------------------------------------------- ladder internals
+def test_ladder_spill_cuts_on_time_boundary():
+    sched = LadderScheduler()
+    seq = 0
+    for t in range(2 * LADDER_SPINE_CAP):
+        sched.push((t, NORMAL, seq, None))
+        seq += 1
+    assert sched.boundary < 2 * LADDER_SPINE_CAP  # a spill happened
+    spine_times = [e[0] for e in sched.spine]
+    assert spine_times == sorted(spine_times)
+    assert all(t < sched.boundary for t in spine_times)
+    # Lanes hold exactly the complement, all at/past the boundary.
+    assert len(sched) == 2 * LADDER_SPINE_CAP
+
+
+def test_ladder_single_cycle_burst_never_spills():
+    """All entries in one cycle: no time boundary exists to cut on, so
+    the spine legitimately exceeds the cap rather than splitting a cycle."""
+    sched = LadderScheduler()
+    n = LADDER_SPINE_CAP + 50
+    for seq in range(n):
+        sched.push((7, NORMAL, seq, None))
+    assert len(sched.spine) == n
+    assert [e[2] for e in sched.spine] == list(range(n))
+
+
+def test_ladder_refill_restores_order_and_boundary():
+    sched = LadderScheduler()
+    seq = 0
+    for t in range(1000):
+        sched.push((t, NORMAL, seq, None))
+        seq += 1
+    popped = [sched.pop() for _ in range(1000)]
+    assert popped == sorted(popped)
+    assert len(sched) == 0
+    with pytest.raises(IndexError):
+        sched.pop()
+
+
+def test_ladder_refill_moves_whole_cycles():
+    """A cycle denser than the refill target still moves as one unit —
+    splitting it would strand same-cycle entries behind the boundary."""
+    sched = LadderScheduler()
+    dense = LADDER_REFILL_TARGET * 3
+    seq = 0
+    # Force the lanes into existence with a spread first.
+    for t in range(LADDER_SPINE_CAP + 10):
+        sched.push((t, NORMAL, seq, None))
+        seq += 1
+    burst_t = sched.boundary + 1
+    for _ in range(dense):
+        sched.push((burst_t, NORMAL, seq, None))
+        seq += 1
+    out = []
+    while len(sched):
+        out.append(sched.pop())
+    assert out == sorted(out)
+    assert len(out) == LADDER_SPINE_CAP + 10 + dense
+
+
+def test_ladder_urgent_insorts_ahead():
+    env = Environment(scheduler="ladder")
+    order = []
+    env.call_later(3, lambda a: order.append("n"), priority=NORMAL)
+    env.call_later(3, lambda a: order.append("u"), priority=URGENT)
+    env.call_later(3, lambda a: order.append("custom-early"), priority=-1)
+    env.call_later(3, lambda a: order.append("custom-late"), priority=9)
+    env.run()
+    assert order == ["custom-early", "u", "n", "custom-late"]
+
+
+def test_ladder_deep_pending_dispatch_matches_heap():
+    """5k entries across a wide time range — deep enough to exercise
+    spill, lane accumulation, and many refills — must dispatch in the
+    heap's exact order."""
+
+    def run_one(name):
+        env = Environment(scheduler=name)
+        out = []
+        for i in range(5000):
+            env.call_later((i * 131) % 997, out.append, arg=i)
+        env.run()
+        return out, env.now, env.events_processed
+
+    assert run_one("ladder") == run_one("heap")

@@ -64,11 +64,11 @@ def test_urgent_priority_preempts_normal(env):
     order = []
     normal = env.event()
     normal._ok, normal._value = True, None
-    normal.callbacks.append(lambda e: order.append("normal"))
+    normal.subscribe(lambda e: order.append("normal"))
     env.schedule(normal, delay=5, priority=NORMAL)
     urgent = env.event()
     urgent._ok, urgent._value = True, None
-    urgent.callbacks.append(lambda e: order.append("urgent"))
+    urgent.subscribe(lambda e: order.append("urgent"))
     env.schedule(urgent, delay=5, priority=URGENT)
     env.run()
     assert order == ["urgent", "normal"]
