@@ -47,12 +47,25 @@ def _setting(name: str) -> Setting:
 
 
 def _config(args):
-    """Config override from kernel flags (None = shipped defaults)."""
+    """Config override from kernel/burst flags (None = shipped defaults).
+
+    Built only when a flag deviates from the shipped default, so default
+    invocations keep ``config=None`` and stay on the golden path.
+    """
+    overrides = {}
     sched = getattr(args, "scheduler", None)
     if sched and sched != "heap":
+        overrides["scheduler"] = sched
+    burst_k = getattr(args, "burst_k", None)
+    if burst_k is not None:
+        overrides["burst_k"] = burst_k
+    p_min = getattr(args, "p_min", None)
+    if p_min is not None:
+        overrides["p_min"] = p_min
+    if overrides:
         from repro.config import SystemConfig
 
-        return SystemConfig(scheduler=sched)
+        return SystemConfig(**overrides)
     return None
 
 
@@ -147,8 +160,7 @@ def cmd_run(args) -> None:
 
         request = RunRequest.from_setting(
             args.workload, _setting(args.setting), scale=args.scale,
-            seed=args.seed, verify=verify,
-            scheduler=getattr(args, "scheduler", None),
+            seed=args.seed, config=_config(args), verify=verify,
         )
         m = run_requests([request], jobs=jobs)[0]
     else:
@@ -275,6 +287,9 @@ def cmd_motivation(_args) -> None:
 
 
 def cmd_autotune(args) -> None:
+    if getattr(args, "burst", False):
+        _autotune_burst(args)
+        return
     from repro.eval.autotune import autotune
 
     r = autotune(args.workload, scale=args.scale, seed=args.seed,
@@ -288,6 +303,34 @@ def cmd_autotune(args) -> None:
     ]
     print(format_table(["result", "value"], rows,
                        title=f"Parameter search: {args.workload}"))
+
+
+def _autotune_burst(args) -> None:
+    """The multi-push (k, p_min) grid: frontier table plus the winner."""
+    from repro.eval.autotune import autotune_burst
+
+    ks = [int(v) for v in args.ks.split(",") if v.strip()]
+    p_mins = [float(v) for v in args.p_mins.split(",") if v.strip()]
+    r = autotune_burst(
+        args.workload, ks=ks, p_mins=p_mins, scale=args.scale,
+        seed=args.seed, rho=args.rho, jobs=getattr(args, "jobs", None),
+    )
+    unit = "p99 sojourn" if r.rho is not None else "exec cycles"
+    rows = [
+        [p.burst_k, f"{p.p_min:g}", f"{p.score:.0f}",
+         format_speedup(p.speedup_over(r.baseline_score))]
+        for p in r.frontier()
+    ]
+    suffix = f" at rho={r.rho:g}" if r.rho is not None else ""
+    print(format_table(
+        ["k", "p_min", unit, "vs tuned"], rows,
+        title=f"Multi-push frontier: {args.workload}{suffix} "
+              f"(tuned {unit}: {r.baseline_score:.0f})"))
+    best = r.best
+    print(
+        f"\nbest point: k={best.burst_k} p_min={best.p_min:g} "
+        f"({format_speedup(r.best_speedup)} vs tuned single-push)"
+    )
 
 
 def cmd_replicate(args) -> None:
@@ -329,6 +372,7 @@ def cmd_scale(args) -> None:
         num_srds=args.srds,
         verify=getattr(args, "verify", False),
         jobs=getattr(args, "jobs", None),
+        base=_config(args),
     )
     print(result.render())
     if args.out:
@@ -355,6 +399,7 @@ def cmd_load(args) -> None:
         seed=args.seed,
         churn=args.churn,
         jobs=getattr(args, "jobs", None),
+        base=_config(args),
     )
     print(result.render())
     if args.out:
@@ -397,6 +442,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "see docs/PERFORMANCE.md")
         return p
 
+    def burst(p):
+        p.add_argument("--burst-k", type=int, default=None, metavar="K",
+                       help="multi-push burst width: claim up to K "
+                            "consecutive specBuf slots per confidence-gated "
+                            "burst (default: 1 = single-push SPAMeR)")
+        p.add_argument("--p-min", type=float, default=None, metavar="P",
+                       help="minimum EWMA acceptance estimate before a "
+                            "burst may extend past its head push "
+                            "(default: 0.75)")
+        return p
+
     def sched(p):
         from repro.sim.sched import scheduler_names
 
@@ -418,7 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", metavar="FILE", default=None,
                    help="export the full trace as CSV instead of printing")
     p.set_defaults(fn=cmd_fig7, setting="vl")
-    sched(jobs(common(sub.add_parser("fig8", help="Figure 8 speedups")))
+    burst(sched(jobs(common(sub.add_parser("fig8", help="Figure 8 speedups"))))
           ).set_defaults(fn=cmd_fig8)
     sched(jobs(common(sub.add_parser("fig9", help="Figure 9 breakdown")))
           ).set_defaults(fn=cmd_fig9)
@@ -428,9 +484,9 @@ def build_parser() -> argparse.ArgumentParser:
           ).set_defaults(fn=cmd_fig10b)
     jobs(common(sub.add_parser("fig11", help="Figure 11 sensitivity panel"),
                 workload=True)).set_defaults(fn=cmd_fig11)
-    p = sched(jobs(common(
+    p = burst(sched(jobs(common(
         sub.add_parser("run", help="run one workload under one setting"),
-        workload=True, setting=True)))
+        workload=True, setting=True))))
     p.add_argument("--hook-stats", action="store_true",
                    help="dump per-stage transaction latency histograms "
                         "collected over the instrumentation hook bus")
@@ -478,9 +534,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("spec", help="path to the spec file (see repro.eval.batch)")
     p.add_argument("--out", default=None, help="write the JSON report here")
     p.set_defaults(fn=cmd_batch)
-    p = jobs(sub.add_parser(
+    p = burst(jobs(sub.add_parser(
         "scale",
-        help="interconnect scaling study: cores x topology x device"))
+        help="interconnect scaling study: cores x topology x device")))
     p.add_argument("--cores", default="8,16,32,64", metavar="LIST",
                    help="comma-separated core counts (default: 8,16,32,64)")
     p.add_argument("--topology", default="single-bus,mesh", metavar="LIST",
@@ -500,9 +556,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="FILE", default=None,
                    help="also write the machine-readable JSON report here")
     p.set_defaults(fn=cmd_scale)
-    p = jobs(sub.add_parser(
+    p = burst(jobs(sub.add_parser(
         "load",
-        help="open-system load sweep: tail latency vs offered load"))
+        help="open-system load sweep: tail latency vs offered load")))
     p.add_argument("--workload", default="incast",
                    choices=workload_names(),
                    help="an open-capable workload: ping-pong, incast, "
@@ -529,10 +585,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="FILE", default=None,
                    help="also write the machine-readable JSON report here")
     p.set_defaults(fn=cmd_load)
-    p = common(sub.add_parser("autotune", help="per-benchmark parameter search"),
-               workload=True)
+    p = jobs(common(sub.add_parser("autotune",
+                                   help="per-benchmark parameter search"),
+                    workload=True))
     p.add_argument("--budget", type=int, default=25,
                    help="maximum simulations to spend")
+    p.add_argument("--burst", action="store_true",
+                   help="grid-search the multi-push (k, p_min) frontier on "
+                        "the saturated 64-core bus instead of the tuned "
+                        "delay parameters")
+    p.add_argument("--ks", default="1,2,4,8", metavar="LIST",
+                   help="comma-separated burst widths for --burst "
+                        "(default: 1,2,4,8)")
+    p.add_argument("--p-mins", default="0.0,0.5,0.75,0.9", metavar="LIST",
+                   help="comma-separated acceptance gates for --burst "
+                        "(default: 0.0,0.5,0.75,0.9)")
+    p.add_argument("--rho", type=float, default=None,
+                   help="score the --burst grid by p99 sojourn under an "
+                        "open arrival process at this offered load "
+                        "(default: closed batch, scored by exec cycles)")
     p.set_defaults(fn=cmd_autotune)
     sub.add_parser("list", help="available workloads and settings").set_defaults(
         fn=cmd_list)

@@ -166,6 +166,20 @@ class SystemConfig:
     #: master registers 32, Section 4.3).  Legacy endpoints use one line.
     lines_per_endpoint: int = 2
 
+    # --------------------------------------------------- multi-push speculation
+    #: Maximum burst depth of confidence-gated multi-push speculation: the
+    #: SPAMeR device may claim up to this many *consecutive* specBuf
+    #: offsets of one entry and push that many messages ahead
+    #: (:mod:`repro.spamer.multipush`).  The default 1 is single-push
+    #: SPAMeR, bit-identical to the paper's model; values > 1 switch the
+    #: device's Stage-2 policy to burst speculation with rollback.
+    burst_k: int = 1
+    #: Acceptance threshold gating burst (non-head) claims: a follower slot
+    #: is only claimed while the per-queue acceptance estimator — an EWMA
+    #: over confirmed/rolled-back burst slots, seeded from push precision —
+    #: predicts at least this probability of acceptance.
+    p_min: float = 0.75
+
     # ------------------------------------------------------------- verification
     #: Attach the live invariant checker (:mod:`repro.verify.invariants`) to
     #: the system's hook bus.  The checker is a plain subscriber: it observes
@@ -234,6 +248,12 @@ class SystemConfig:
                 raise ConfigError(f"{name} must be >= 0")
         if self.lines_per_endpoint < 1:
             raise ConfigError("lines_per_endpoint must be >= 1")
+        if self.burst_k < 1:
+            raise ConfigError(f"burst_k must be >= 1, got {self.burst_k}")
+        if not 0.0 <= self.p_min <= 1.0:
+            raise ConfigError(
+                f"p_min must be a probability in [0, 1], got {self.p_min}"
+            )
         if self.watchdog_cycles < 1:
             raise ConfigError("watchdog_cycles must be >= 1")
         # bus_occupancy=0 on ONE channel is the legal ideal-network

@@ -160,6 +160,38 @@ def tuned_setting(params: TunedParams) -> Setting:
     return Setting(f"SPAMeR(tuned:{params.label()})", "spamer", TunedFactory(params))
 
 
+@dataclass(frozen=True)
+class MultiPushFactory:
+    """Zero-arg multi-push algorithm factory that survives pickling.
+
+    Carries the burst parameters across the process boundary (the autotune
+    grid fans (k, p_min) points out over :mod:`repro.eval.parallel`) and
+    rebuilds :class:`~repro.spamer.multipush.MultiPushDelay` — wrapping a
+    fresh :class:`TunedDelay` inner predictor — inside the worker.
+    """
+
+    burst_k: int
+    p_min: float
+    params: Optional[TunedParams] = None
+
+    def __call__(self):
+        from repro.spamer.multipush import MultiPushDelay
+
+        inner = TunedDelay(self.params) if self.params is not None else None
+        return MultiPushDelay(inner=inner, burst_k=self.burst_k, p_min=self.p_min)
+
+
+def multipush_setting(
+    burst_k: int, p_min: float, params: Optional[TunedParams] = None
+) -> Setting:
+    """A SPAMeR(multipush) setting with explicit (k, p_min) burst parameters."""
+    return Setting(
+        f"SPAMeR(multipush:k{burst_k},p{p_min:g})",
+        "spamer",
+        MultiPushFactory(burst_k, p_min, params),
+    )
+
+
 def collect_metrics(system: System, workload: Workload, setting: Setting) -> RunMetrics:
     """Assemble :class:`RunMetrics` from a finished run."""
     stats = system.aggregate_device_stats()
@@ -185,15 +217,18 @@ def collect_metrics(system: System, workload: Workload, setting: Setting) -> Run
         latency_mean=lat.mean,
         latency_p50=lat.percentile(50) if lat.n else 0.0,
         latency_p99=lat.percentile(99) if lat.n else 0.0,
-        extra=_with_request_extras(
-            system,
-            _with_net_extras(
+        extra=_with_burst_extras(
+            stats,
+            _with_request_extras(
                 system,
-                {
-                    "requests_dropped": stats.get("requests_dropped"),
-                    "buffered": stats.get("buffered"),
-                    "spec_selected": stats.get("spec_selected"),
-                },
+                _with_net_extras(
+                    system,
+                    {
+                        "requests_dropped": stats.get("requests_dropped"),
+                        "buffered": stats.get("buffered"),
+                        "spec_selected": stats.get("spec_selected"),
+                    },
+                ),
             ),
         ),
     )
@@ -207,6 +242,18 @@ def _with_net_extras(system: System, extra: Dict) -> Dict:
         extra["net_links"] = len(links)
         extra["net_wait_cycles"] = system.network.wait_cycles
         extra["net_utilization"] = round(system.network.utilization(), 6)
+    return extra
+
+
+def _with_burst_extras(stats, extra: Dict) -> Dict:
+    """Add multi-push burst counters when any burst activity happened
+    (single-push runs never claim a burst slot, so their RunMetrics stay
+    byte-identical)."""
+    if stats.get("burst_claims") or stats.get("spec_rollbacks"):
+        extra["burst_claims"] = stats.get("burst_claims")
+        extra["burst_confirms"] = stats.get("burst_confirms")
+        extra["spec_rollbacks"] = stats.get("spec_rollbacks")
+        extra["rollback_invalidations"] = stats.get("rollback_invalidations")
     return extra
 
 

@@ -35,7 +35,7 @@ class ConsumerLine:
 
     __slots__ = ("env", "addr", "endpoint_id", "index", "core_id", "_state",
                  "timer", "data", "fills", "vacates", "failed_fills",
-                 "fill_txn", "last_vacate_time", "hooks")
+                 "fill_txn", "last_vacate_time", "hooks", "unconfirmed")
 
     def __init__(
         self,
@@ -65,6 +65,10 @@ class ConsumerLine:
         self.failed_fills = 0
         #: When the line last became ready to receive (registration counts).
         self.last_vacate_time: int = env.now
+        #: A burst-speculated fill whose predecessor has not yet confirmed.
+        #: Unconfirmed lines hold data but are invisible to the consumer
+        #: (not poppable) until the policy confirms or rolls them back.
+        self.unconfirmed = False
 
     @property
     def state(self) -> LineState:
@@ -74,7 +78,17 @@ class ConsumerLine:
     def is_empty(self) -> bool:
         return self._state is LineState.EMPTY
 
-    def try_fill(self, data: Any, transaction_id: Optional[int] = None) -> bool:
+    @property
+    def poppable(self) -> bool:
+        """VALID and confirmed — the consumer may pop this line."""
+        return self._state is LineState.VALID and not self.unconfirmed
+
+    def try_fill(
+        self,
+        data: Any,
+        transaction_id: Optional[int] = None,
+        unconfirmed: bool = False,
+    ) -> bool:
         """Attempt a stash; returns the hit/miss response signal.
 
         A miss (line still VALID) leaves the line untouched — the routing
@@ -89,8 +103,36 @@ class ConsumerLine:
         self.data = data
         self.fill_txn = transaction_id
         self.fills += 1
+        self.unconfirmed = unconfirmed
         self._publish("fill", transaction_id)
         return True
+
+    def confirm(self) -> None:
+        """Promote an unconfirmed burst fill to consumer-visible VALID."""
+        self.unconfirmed = False
+
+    def rollback(self) -> Any:
+        """Invalidate an unconfirmed burst fill (misprediction recovery).
+
+        The line returns to EMPTY without a delivery having happened; the
+        invalidation packet's traversal is charged by the caller on the
+        network model.  Returns the evicted payload so the policy can
+        re-inject the message into the mapping pipeline.
+        """
+        if self._state is not LineState.VALID or not self.unconfirmed:
+            raise DeviceError(
+                f"rollback() on {self!r} while {self._state.value} "
+                f"(unconfirmed={self.unconfirmed}); only unconfirmed burst "
+                "fills may be rolled back"
+            )
+        data, self.data = self.data, None
+        self._state = LineState.EMPTY
+        self.timer.transition(LineState.EMPTY)
+        self.unconfirmed = False
+        self.last_vacate_time = self.env.now
+        self._publish("rollback", self.fill_txn)
+        self.fill_txn = None
+        return data
 
     def consume(self) -> Any:
         """Read the message and vacate the line (consumer-side pop)."""

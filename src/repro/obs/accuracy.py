@@ -13,7 +13,12 @@ module condenses one run's counters into the classic retrieval pair:
   request first (on-demand).
 
 ``wasted_push_bytes`` prices the misses in bus bytes: every failed stash
-carried a full cacheline that was thrown away.
+carried a full cacheline that was thrown away.  Multi-push bursts add a
+second waste channel: a rolled-back claim whose push had already *landed*
+must be invalidated with a real coherence traversal, so
+``rollback_invalidation_bytes`` charges one extra cacheline per
+invalidation on top of the failed-stash bytes (rolled-back misses are
+already inside ``spec_failures``).
 """
 
 from __future__ import annotations
@@ -36,6 +41,9 @@ class SpeculationAccuracy:
     spec_hits: int
     messages_delivered: int
     wasted_push_bytes: int
+    #: Multi-push burst counters; all zero on single-push runs.
+    spec_rollbacks: int = 0
+    rollback_invalidations: int = 0
 
     @property
     def precision(self) -> float:
@@ -47,8 +55,13 @@ class SpeculationAccuracy:
             return 0.0
         return min(1.0, self.spec_hits / self.messages_delivered)
 
+    @property
+    def rollback_invalidation_bytes(self) -> int:
+        """Extra bus bytes spent invalidating landed-then-rolled-back lines."""
+        return self.rollback_invalidations * CACHELINE_BYTES
+
     def as_dict(self) -> Dict:
-        return {
+        out = {
             "workload": self.workload,
             "setting": self.setting,
             "spec_pushes": self.spec_pushes,
@@ -58,18 +71,30 @@ class SpeculationAccuracy:
             "recall": round(self.recall, 6),
             "wasted_push_bytes": self.wasted_push_bytes,
         }
+        # Burst keys appear only when bursts actually rolled back, so
+        # single-push reports (and their goldens) stay byte-identical.
+        if self.spec_rollbacks or self.rollback_invalidations:
+            out["spec_rollbacks"] = self.spec_rollbacks
+            out["rollback_invalidations"] = self.rollback_invalidations
+            out["rollback_invalidation_bytes"] = self.rollback_invalidation_bytes
+        return out
 
 
 def accuracy_from_metrics(metrics: RunMetrics) -> SpeculationAccuracy:
     """Derive the accuracy report from a finished run's counters."""
     hits = metrics.spec_pushes - metrics.spec_failures
+    rollbacks = int(metrics.extra.get("spec_rollbacks", 0))
+    invalidations = int(metrics.extra.get("rollback_invalidations", 0))
     return SpeculationAccuracy(
         workload=metrics.workload,
         setting=metrics.setting,
         spec_pushes=metrics.spec_pushes,
         spec_hits=hits,
         messages_delivered=metrics.messages_delivered,
-        wasted_push_bytes=metrics.spec_failures * CACHELINE_BYTES,
+        wasted_push_bytes=(metrics.spec_failures + invalidations)
+        * CACHELINE_BYTES,
+        spec_rollbacks=rollbacks,
+        rollback_invalidations=invalidations,
     )
 
 

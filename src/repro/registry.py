@@ -36,6 +36,7 @@ _BUILTIN_MODULES = (
     "repro.spamer.srd",
     "repro.spamer.delay",
     "repro.spamer.learned",
+    "repro.spamer.multipush",
 )
 
 _builtins_loaded = False

@@ -162,9 +162,10 @@ class RequestHook(HookEvent):
 class LineHook(HookEvent):
     """A consumer cacheline changed occupancy state.
 
-    ``transition`` is ``"fill"`` (EMPTY→VALID), ``"vacate"`` (VALID→EMPTY)
-    or ``"failed-fill"`` (a stash bounced off a VALID line — the legal miss
-    response, not a state change).
+    ``transition`` is ``"fill"`` (EMPTY→VALID), ``"vacate"`` (VALID→EMPTY),
+    ``"failed-fill"`` (a stash bounced off a VALID line — the legal miss
+    response, not a state change) or ``"rollback"`` (a burst misprediction
+    invalidated an unconfirmed fill: VALID→EMPTY without a delivery).
     """
 
     addr: int = 0

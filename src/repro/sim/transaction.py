@@ -11,9 +11,12 @@ each stage held it.
 Message lifecycle (the Figure 5 flow)::
 
     CREATED ──> PUSHED ──> MAPPED ──> STASHED ──> RESPONDED ──> RETIRED
-                   │          ▲            (miss) ────┘
-                   └──> BUFFERED (no target yet; a later request or
-                                  speculation re-enters at MAPPED)
+                   │          ▲            (miss) ────┘    │
+                   │          │     ROLLED_BACK <──────────┘ (burst
+                   │          └──────── │   misprediction; re-enters
+                   └──> BUFFERED <──────┘   via BUFFERED or MAPPED)
+                        (no target yet; a later request or
+                         speculation re-enters at MAPPED)
 
 Request lifecycle::
 
@@ -40,6 +43,7 @@ class TxnState(Enum):
     BUFFERED = "buffered"      # parked on the SQI's buffering queue
     STASHED = "stashed"        # stash packet sent toward a consumer line
     RESPONDED = "responded"    # hit/miss response processed at the device
+    ROLLED_BACK = "rolled-back"  # burst misprediction invalidated the line
     RETIRED = "retired"        # consumer popped the message
 
     # -- request (vl_fetch) path ------------------------------------------------
@@ -61,8 +65,9 @@ LEGAL_TRANSITIONS: Dict[Optional[TxnState], frozenset] = {
     TxnState.MAPPED: frozenset({TxnState.STASHED}),
     TxnState.STASHED: frozenset({TxnState.RESPONDED, TxnState.RETIRED}),
     TxnState.RESPONDED: frozenset(
-        {TxnState.RETIRED, TxnState.MAPPED, TxnState.BUFFERED}
+        {TxnState.RETIRED, TxnState.MAPPED, TxnState.BUFFERED, TxnState.ROLLED_BACK}
     ),
+    TxnState.ROLLED_BACK: frozenset({TxnState.MAPPED, TxnState.BUFFERED}),
     TxnState.RETIRED: frozenset({TxnState.RESPONDED}),
     TxnState.ARRIVED: frozenset(
         {TxnState.MATCHED, TxnState.COALESCED, TxnState.DROPPED}

@@ -184,6 +184,9 @@ class FuzzCaseResult:
     stream: CanonicalStream
     predicted: CanonicalStream
     violations: Tuple = ()
+    #: The quiesced system, for post-run structural assertions (e.g. the
+    #: multi-push claim/release balance checks) — never part of the diff.
+    system: Optional["System"] = None
 
     @property
     def ok(self) -> bool:
@@ -229,6 +232,7 @@ def run_fuzz_case(
         stream=recorder.canonical(),
         predicted=FunctionalQueueModel().predict(recorder),
         violations=tuple(system.verifier.violations),
+        system=system,
     )
 
 

@@ -13,12 +13,15 @@ enforces, while the simulation runs:
   specBuf path (checked at quiesce).
 * **Cacheline state-machine legality** — a fill of a VALID line or a
   vacate of an EMPTY line can only come from a device bug (the legal miss
-  is the distinct ``failed-fill`` transition).
+  is the distinct ``failed-fill`` transition); a burst ``rollback`` may
+  only invalidate a line the checker saw filled, and never after the
+  message was popped.
 * **Transaction lifecycle legality** — every stamp must follow an edge of
   :data:`~repro.sim.transaction.LEGAL_TRANSITIONS`; additionally a message
   must not re-enter the mapping pipeline after a *hit* response (the
-  double-delivery signature), and no in-flight message records may remain
-  at quiesce.
+  double-delivery signature) — unless that hit was undone by a burst
+  rollback (``ROLLED_BACK``), which legalises exactly one re-entry — and
+  no in-flight message records may remain at quiesce.
 
 The :class:`~repro.sim.hooks.HookBus` isolates subscriber exceptions (they
 are captured, not raised), so the checker *accumulates*
@@ -190,6 +193,29 @@ class InvariantChecker:
                     f"endpoint {event.endpoint_id} line {event.index}: miss "
                     "response from an EMPTY line",
                 )
+        elif event.transition == "rollback":
+            # Burst misprediction recovery: an unconfirmed fill invalidated
+            # before any consumer saw it.  Legal only on a line the checker
+            # saw filled, and only before the message was popped.
+            if not valid:
+                self._flag(
+                    event.tick,
+                    "cacheline/rollback-of-empty-line",
+                    f"endpoint {event.endpoint_id} line {event.index} "
+                    "rolled back while EMPTY",
+                )
+            if (
+                event.transaction_id is not None
+                and event.transaction_id in self._retired_tids
+            ):
+                self._flag(
+                    event.tick,
+                    "cacheline/rollback-after-pop",
+                    f"message txn#{event.transaction_id} rolled back from "
+                    f"endpoint {event.endpoint_id} line {event.index} after "
+                    "the consumer already popped it",
+                )
+            self._line_valid[key] = False
 
     def _on_transaction(self, event: TransactionHook) -> None:
         self.events_seen += 1
@@ -220,6 +246,11 @@ class InvariantChecker:
                 self._hit_responded.add(key)
             else:
                 self._hit_responded.discard(key)
+        if event.state is TxnState.ROLLED_BACK:
+            # A burst rollback undoes the speculative fill (hit responses
+            # included — the landed line is invalidated before any pop), so
+            # the message legally re-enters the pipeline exactly once.
+            self._hit_responded.discard(key)
         if event.state is TxnState.RETIRED and record.kind == "message":
             self._retired_tids.add(record.tid)
         self._txn_state[key] = event.state

@@ -13,7 +13,7 @@ from typing import List, Optional, TYPE_CHECKING
 
 from repro.errors import RegistrationError
 from repro.mem.address import Segment
-from repro.mem.cacheline import ConsumerLine, LineState
+from repro.mem.cacheline import ConsumerLine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.hooks import HookBus
@@ -102,7 +102,7 @@ class ConsumerEndpoint:
         n = len(self.lines)
         for step in range(n):
             line = self.lines[(self._rr_index + step) % n]
-            if line.state is LineState.VALID:
+            if line.poppable:
                 return line
         return None
 

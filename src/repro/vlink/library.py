@@ -234,12 +234,14 @@ class QueueLibrary:
             )
 
         line = consumer.current_line
-        if line.state is not LineState.VALID:
-            # ---- slow path: poll the line until the stash lands.
+        if not line.poppable:
+            # ---- slow path: poll the line until the stash lands (a VALID
+            # line whose burst fill is still unconfirmed is not poppable —
+            # delivering it would jump the predicted order).
             stall_start = self.env.now
             since_fetch = 0
             refetch_after = cfg.refetch_interval
-            while consumer.current_line.state is not LineState.VALID:
+            while not consumer.current_line.poppable:
                 if (
                     cfg.spin_then_yield
                     and self.env.now - stall_start >= cfg.spin_threshold

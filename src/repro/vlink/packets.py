@@ -48,6 +48,10 @@ class ProdEntry:
     #: specBuf entry index of the in-flight speculative attempt (if any);
     #: used to clear the entry's on_fly throttle bit on the response.
     spec_entry_index: Optional[int] = None
+    #: True when this attempt is a non-head member of a speculative burst:
+    #: the stash lands unconfirmed (invisible to the consumer) until the
+    #: burst head confirms, or is rolled back on a misprediction.
+    spec_unconfirmed: bool = False
 
     @property
     def sqi(self) -> int:

@@ -41,14 +41,26 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class SpecTarget:
-    """A speculation decision: where and when to push."""
+    """A speculation decision: where and when to push.
 
-    __slots__ = ("line", "entry_index", "send_tick")
+    ``unconfirmed`` marks a non-head member of a speculative burst
+    (multi-push): its stash lands invisible to the consumer until the
+    burst head confirms, or is rolled back on a misprediction.
+    """
 
-    def __init__(self, line: ConsumerLine, entry_index: int, send_tick: int) -> None:
+    __slots__ = ("line", "entry_index", "send_tick", "unconfirmed")
+
+    def __init__(
+        self,
+        line: ConsumerLine,
+        entry_index: int,
+        send_tick: int,
+        unconfirmed: bool = False,
+    ) -> None:
         self.line = line
         self.entry_index = entry_index
         self.send_tick = send_tick
+        self.unconfirmed = unconfirmed
 
 
 class SpeculationPolicy:
@@ -66,8 +78,23 @@ class SpeculationPolicy:
         """Pick a speculative target for *entry*, or None to buffer it."""
         raise NotImplementedError
 
-    def on_response(self, entry: ProdEntry, hit: bool, now: int) -> None:
-        """Feed a speculative push's hit/miss response back into the policy."""
+    def on_response(self, entry: ProdEntry, hit: bool, now: int) -> Optional[str]:
+        """Feed a speculative push's hit/miss response back into the policy.
+
+        Returns None for the standard hit/miss handling, or the verdict
+        ``"rollback"`` when the policy cancels the push (burst
+        misprediction): the device then stamps the packet ROLLED_BACK,
+        charges it as a failure, and hands it to :meth:`complete_rollback`
+        instead of releasing/retrying it.
+        """
+        raise NotImplementedError
+
+    def complete_rollback(self, entry: ProdEntry, hit: bool, now: int) -> None:
+        """Finish a push cancelled by a ``"rollback"`` verdict.
+
+        Only called after :meth:`on_response` returned ``"rollback"``; the
+        policy owns the packet's continuation (invalidation, re-injection).
+        """
         raise NotImplementedError
 
     def retry(self, entry: ProdEntry, now: int) -> Optional[SpecTarget]:
@@ -206,6 +233,7 @@ class MappingPipeline:
         keeps delivery per-producer FIFO across mis-speculations.
         """
         self.stats.add("spec_retries")
+        entry.spec_unconfirmed = spec.unconfirmed
         self.stamp(entry.message.txn, TxnState.MAPPED, entry.sqi, "retry")
         delay = self.stage_latency + max(0, spec.send_tick - self.env.now)
         self._after(delay, lambda: self._dispatch(entry, spec.line, True))
@@ -250,6 +278,7 @@ class MappingPipeline:
     def _speculated(self, entry: ProdEntry, spec: SpecTarget) -> None:
         """Stage-3 specTgt path: schedule the delayed speculative dispatch."""
         entry.spec_entry_index = spec.entry_index
+        entry.spec_unconfirmed = spec.unconfirmed
         delay = max(0, spec.send_tick - self.env.now)
         self.stats.add("spec_selected")
         self.stamp(entry.message.txn, TxnState.MAPPED, entry.sqi, "speculative")

@@ -227,7 +227,11 @@ class VirtualLinkRoutingDevice:
 
         def on_delivery(_ev) -> None:
             vacate_time = line.last_vacate_time
-            hit = line.try_fill(entry.message, entry.message.transaction_id)
+            hit = line.try_fill(
+                entry.message,
+                entry.message.transaction_id,
+                unconfirmed=entry.spec_unconfirmed,
+            )
             if hit:
                 txn = entry.message.transaction_id
                 self.pipeline.trace(
@@ -248,12 +252,26 @@ class VirtualLinkRoutingDevice:
         self, entry: ProdEntry, line: ConsumerLine, hit: bool, speculative: bool
     ) -> None:
         row = self.linktab.row(entry.sqi)
+        verdict = None
         if speculative:
-            self.pipeline.speculation.on_response(entry, hit, self.env.now)
+            verdict = self.pipeline.speculation.on_response(entry, hit, self.env.now)
         self.pipeline.stamp(
             entry.message.txn, TxnState.RESPONDED, entry.sqi,
             "hit" if hit else "miss",
         )
+        if verdict == "rollback":
+            # A burst misprediction cancelled this push: it is charged as a
+            # wasted speculative push, the packet is stamped ROLLED_BACK,
+            # and the policy owns its continuation (invalidating a landed
+            # line over the network, re-injecting the message FIFO-front).
+            self.stats.add("push_failures")
+            self.stats.add("spec_failures")
+            self.pipeline.stamp(
+                entry.message.txn, TxnState.ROLLED_BACK, entry.sqi, "burst"
+            )
+            self.pipeline.speculation.complete_rollback(entry, hit, self.env.now)
+            self.pipeline.kick(row)
+            return
         if hit:
             self.stats.add("push_hits")
             self.stats.add("spec_hits" if speculative else "ondemand_hits")

@@ -83,7 +83,11 @@ class WorkCounter:
     def retire(self, amount: int) -> None:
         """Lower the target by *amount* (a departed session's shortfall)."""
         if amount < 0:
-            raise WorkloadError(f"cannot retire negative work {amount}")
+            where = f" on {self.label!r}" if self.label else ""
+            raise WorkloadError(
+                f"cannot retire negative work {amount} from work "
+                f"counter{where}"
+            )
         if amount == 0:
             return
         if self.target - amount < self.done_count:

@@ -30,7 +30,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.config import SystemConfig
 from repro.errors import ConfigError, SchedulingError
-from repro.eval.runner import run_workload, standard_settings
+from repro.eval.runner import multipush_setting, run_workload, standard_settings
 from repro.sim.kernel import Environment, NORMAL, URGENT
 from repro.sim.sched import (
     CalendarScheduler,
@@ -237,11 +237,18 @@ def test_watchdog_firing_point_identical(name):
 FIG8_QUICK = [("ping-pong", 0.05), ("incast", 0.05)]
 
 
+def fig8_quick_settings():
+    """The golden Figure-8 flavors plus burst-mode multipush: rollback
+    scheduling (doomed claims, invalidation transits) must be just as
+    scheduler-invariant as the single-push pipeline."""
+    return standard_settings() + [multipush_setting(4, 0.0)]
+
+
 @pytest.mark.parametrize("name", ALT_SCHEDULERS)
 def test_fig8_metrics_identical_across_schedulers(name):
     """Golden Figure-8 cells: every metric field must match the heap."""
     for workload, scale in FIG8_QUICK:
-        for setting in standard_settings():
+        for setting in fig8_quick_settings():
             reference = run_workload(
                 workload, setting, scale=scale, seed=7,
                 config=SystemConfig(num_cores=16),

@@ -162,6 +162,14 @@ def test_work_counter_retire_validation():
         counter.retire(-1)
 
 
+def test_work_counter_retire_negative_names_the_offender():
+    # Regression: the negative-amount diagnostic used to drop the counter
+    # label, unlike every other WorkCounter error path.
+    counter = WorkCounter(10, label="pipeline.q2:stage-b")
+    with pytest.raises(WorkloadError, match="pipeline.q2:stage-b"):
+        counter.retire(-3)
+
+
 # -------------------------------------------------------------- RequestLog
 def test_request_log_touch_and_complete_are_idempotent():
     log = RequestLog().activate()

@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.config import SystemConfig
-from repro.eval.runner import setting_names
+from repro.eval.runner import multipush_setting, setting_names
 from repro.verify.oracle import (
     FunctionalQueueModel,
     StreamRecorder,
@@ -32,7 +32,15 @@ WORKLOADS = [("ping-pong", 0.02), ("incast", 0.02), ("firewall", 0.02)]
 
 
 def matrix_settings():
-    return [s for s in setting_names() if s.algorithm != "never"]
+    """Every zero-config flavor, plus an explicitly burst-mode multipush.
+
+    The registered ``multipush`` setting inherits the config default
+    ``burst_k=1``, so without the extra participant the matrix would
+    never cross-check actual burst/rollback interleavings against the
+    other devices' canonical streams.
+    """
+    registered = [s for s in setting_names() if s.algorithm != "never"]
+    return registered + [multipush_setting(4, 0.0)]
 
 
 @pytest.mark.parametrize("workload,scale", WORKLOADS,
@@ -53,6 +61,27 @@ def test_matrix_covers_every_registered_device():
     from repro.registry import device_names
 
     assert devices == set(device_names())
+    assert any("multipush:k4" in s.label for s in matrix_settings())
+
+
+def test_multipush_k1_metrics_bit_identical_to_tuned():
+    """With the default ``burst_k=1`` the burst device must degenerate to
+    single-push SPAMeR exactly: every RunMetrics field (cycles, push and
+    bus counters, occupancy averages, extras) equal bit for bit, not just
+    the delivered stream."""
+    import dataclasses
+
+    from repro.eval.runner import run_workload, setting_by_name
+
+    for workload, scale in WORKLOADS:
+        reference = run_workload(
+            workload, setting_by_name("tuned"), scale=scale, config=SMALL
+        )
+        candidate = run_workload(
+            workload, multipush_setting(1, 0.75), scale=scale, config=SMALL
+        )
+        assert dataclasses.replace(candidate, setting=reference.setting) \
+            == reference, (workload, candidate, reference)
 
 
 def test_functional_model_predicts_push_order():

@@ -69,6 +69,28 @@ def test_batch_report_json_is_identical_across_jobs():
     )
 
 
+def test_autotune_burst_grid_identical_across_jobs():
+    """The (k, p_min) frontier grid fans out through the same executor,
+    so the whole tune result — frontier order, metrics, winner — must be
+    byte-identical between serial and two workers."""
+    from repro.eval.autotune import autotune_burst, saturated_bus_config
+
+    kwargs = dict(
+        workload_name="incast",
+        ks=(1, 2),
+        p_mins=(0.0, 0.75),
+        scale=0.02,
+        seed=SEED,
+        config=saturated_bus_config(cores=16),
+    )
+    serial = autotune_burst(jobs=1, **kwargs)
+    parallel = autotune_burst(jobs=2, **kwargs)
+    assert serial == parallel
+    assert repr(serial.frontier()) == repr(parallel.frontier())
+    assert serial.best.burst_k == parallel.best.burst_k
+    assert serial.best.p_min == parallel.best.p_min
+
+
 def test_sensitivity_sweep_parallel_matches_serial():
     from repro.eval.sweep import PAPER_TUNED_PARAMS, sensitivity_sweep
 
