@@ -241,6 +241,7 @@ def autotune_burst(
     rho: Optional[float] = None,
     arrival: str = "poisson",
     jobs: Optional[int] = None,
+    executor=None,
 ) -> BurstTuneResult:
     """Grid-search the (k, p_min) burst frontier for one workload.
 
@@ -252,6 +253,10 @@ def autotune_burst(
     calibrates the service rate and every cell re-runs under an open
     arrival process at that offered load, scored by p99 sojourn — the
     saturated-tail question the frontier exists to answer.
+
+    *executor* is any ``run_requests``-shaped callable (e.g. a
+    :class:`~repro.serve.executor.ServeExecutor`); the grid routes
+    through it so repeated frontier sweeps hit the daemon's result cache.
     """
     from repro.eval.load import arrival_spec_for
     from repro.eval.parallel import RunRequest, run_requests
@@ -306,7 +311,8 @@ def autotune_burst(
                 arrival=arrival_spec,
             )
         )
-    metrics_list = run_requests(requests, jobs=jobs)
+    runner = executor if executor is not None else run_requests
+    metrics_list = runner(requests, jobs=jobs)
 
     open_mode = arrival_spec is not None
     if open_mode:

@@ -73,12 +73,20 @@ def parse_spec(spec: Dict) -> Dict:
     return out
 
 
-def run_batch(spec: Dict, jobs: Optional[int] = None) -> Dict:
+def run_batch(
+    spec: Dict, jobs: Optional[int] = None, executor=None
+) -> Dict:
     """Run the grid a spec describes; returns the JSON-serializable report.
 
     ``jobs`` fans the independent (workload × setting × seed) cells across
     worker processes (0 = all cores; default serial); the report is
     bit-identical either way because results merge in submission order.
+
+    *executor* is any ``run_requests``-shaped callable — pass a
+    :class:`~repro.serve.executor.ServeExecutor` to route the grid
+    through a serve daemon (warm pool + result cache) instead of the
+    per-call process pool; the report stays bit-identical by the same
+    determinism argument.
     """
     norm = parse_spec(spec)
     config = SystemConfig().with_overrides(**norm["config"])
@@ -98,7 +106,8 @@ def run_batch(spec: Dict, jobs: Optional[int] = None) -> Dict:
         )
         for workload, setting_name, seed in cells
     ]
-    all_metrics = run_requests(requests, jobs=jobs)
+    runner = executor if executor is not None else run_requests
+    all_metrics = runner(requests, jobs=jobs)
 
     results: Dict[str, Dict[str, Dict[str, Dict]]] = {}
     for (workload, setting_name, seed), metrics in zip(cells, all_metrics):
@@ -130,11 +139,12 @@ def run_batch_file(
     spec_path: str,
     report_path: Optional[str] = None,
     jobs: Optional[int] = None,
+    executor=None,
 ) -> Dict:
     """Load a spec file, run it, and optionally write the report."""
     with open(spec_path) as fh:
         spec = json.load(fh)
-    report = run_batch(spec, jobs=jobs)
+    report = run_batch(spec, jobs=jobs, executor=executor)
     if report_path:
         with open(report_path, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)

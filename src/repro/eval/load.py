@@ -190,8 +190,17 @@ def load_experiment(
     churn: float = 0.0,
     jobs: Optional[int] = None,
     base: Optional[SystemConfig] = None,
+    executor=None,
 ) -> LoadResult:
-    """Calibrate then sweep; bit-identical across ``jobs`` values."""
+    """Calibrate then sweep; bit-identical across ``jobs`` values.
+
+    *executor* is any ``run_requests``-shaped callable (e.g. a
+    :class:`~repro.serve.executor.ServeExecutor`): both phases route
+    through it, so a serve daemon's warm pool runs the sweep and its
+    result cache makes every repeated cell — including the calibration
+    runs a later sweep repeats — free.
+    """
+    runner = executor if executor is not None else run_requests
     probe = make_workload(workload, scale=scale)
     if not probe.open_capable:
         raise ConfigError(
@@ -220,7 +229,7 @@ def load_experiment(
         )
         for topology, setting_name in cells
     ]
-    calib_metrics = run_requests(calib_requests, jobs=jobs)
+    calib_metrics = runner(calib_requests, jobs=jobs)
 
     result = LoadResult(workload=workload, arrival=arrival)
     service_rates: Dict[Tuple[str, str], float] = {}
@@ -251,7 +260,7 @@ def load_experiment(
                     arrival=arrival_spec_for(arrival, session_rate, churn),
                 )
             )
-    sweep_metrics = run_requests(sweep_requests, jobs=jobs)
+    sweep_metrics = runner(sweep_requests, jobs=jobs)
     for (topology, setting_name, rho, session_rate), metrics in zip(
         sweep, sweep_metrics
     ):

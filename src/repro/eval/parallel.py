@@ -29,6 +29,9 @@ See ``docs/PERFORMANCE.md`` for the design and determinism argument.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 import multiprocessing
 import os
 import pickle
@@ -42,6 +45,43 @@ from repro.eval.metrics import RunMetrics
 from repro.eval.runner import DEFAULT_CYCLE_LIMIT, Setting, run_workload
 from repro.spamer.delay import DelayAlgorithm
 from repro.workloads.arrival import ArrivalSpec
+
+#: Version tag baked into every request cache key.  Bump it whenever the
+#: meaning of a run changes in a way the serialized fields cannot express
+#: (a semantic fix to a device model, a new default that alters results),
+#: which atomically invalidates every previously cached result.
+CACHE_KEY_VERSION = 1
+
+#: Pickle protocol pinned for cached :class:`~repro.eval.metrics.RunMetrics`
+#: payloads: byte-identity claims ("a cache hit returns the same bytes a
+#: fresh run would produce") need one fixed serialization, not whatever
+#: ``pickle.DEFAULT_PROTOCOL`` happens to be on the running interpreter.
+CACHE_PICKLE_PROTOCOL = 4
+
+
+def _canonical_component(value):
+    """A JSON-able canonical form for a device/algorithm specification.
+
+    Registry names pass through as strings; parameterized factories must
+    be frozen dataclasses (the :class:`~repro.eval.runner.TunedFactory`
+    pattern) so their identity is the class path plus the field values —
+    the same information pickle ships across the process boundary, in a
+    stable, hashable shape.  Lambdas and closures are rejected exactly
+    like they are by the pickle gate.
+    """
+    if value is None or isinstance(value, str):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        return [
+            f"{cls.__module__}.{cls.__qualname__}",
+            dataclasses.asdict(value),
+        ]
+    raise ConfigError(
+        f"cannot derive a cache key for {value!r}: parameterized "
+        "algorithms must be frozen-dataclass factories (see "
+        "repro.eval.runner.TunedFactory), not lambdas or closures"
+    )
 
 
 @dataclass(frozen=True)
@@ -111,6 +151,61 @@ class RunRequest:
             label = f"{self.device}({algo})" if algo else f"{self.device}(baseline)"
         return Setting(label, self.device, self.algorithm)
 
+    # ------------------------------------------------------------ cache identity
+    def cache_payload(self) -> dict:
+        """The canonical, JSON-able description of everything a run depends on.
+
+        Every field that can change a run's :class:`RunMetrics` — workload,
+        device/algorithm identity, scale, seed, full config, cycle limit,
+        arrival process, scheduler, even the reported ``label`` (it is part
+        of the metrics document) — appears here in a stable shape: nested
+        dicts serialize with sorted keys, tuples normalize to lists, and
+        parameterized factories canonicalize via
+        :func:`_canonical_component`.
+
+        The payload is *versioned* (:data:`CACHE_KEY_VERSION`) and
+        *registry-generation-aware*: any runtime (un)registration bumps
+        :func:`~repro.registry.registry_generation` and therefore every
+        key, because a re-registered name may resolve to different code.
+        That is deliberately conservative — a stale generation can only
+        cause a cache miss, never a wrong result.
+        """
+        from repro.registry import registry_generation
+
+        return {
+            "version": CACHE_KEY_VERSION,
+            "registry_generation": registry_generation(),
+            "workload": self.workload,
+            "device": self.device,
+            "algorithm": _canonical_component(self.algorithm),
+            "label": self.label,
+            "scale": self.scale,
+            "seed": self.seed,
+            "config": self.config.to_dict() if self.config is not None else None,
+            "limit": self.limit,
+            "validate": self.validate,
+            "verify": self.verify,
+            "arrival": (
+                [self.arrival.name, [list(kv) for kv in self.arrival.params]]
+                if self.arrival is not None
+                else None
+            ),
+            "scheduler": self.scheduler,
+        }
+
+    def cache_key(self) -> str:
+        """Content hash of :meth:`cache_payload` — the result-cache address.
+
+        Bit-wise determinism (pinned since the parallel executor landed)
+        means equal keys imply byte-identical :class:`RunMetrics`, which is
+        what makes the :class:`repro.serve.cache.ResultCache` provably
+        exact: a repeated sweep cell can return the cached pickle verbatim.
+        """
+        canonical = json.dumps(
+            self.cache_payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
 
 def execute_request(request: RunRequest) -> RunMetrics:
     """Run one request to completion — the worker-process entry point.
@@ -175,6 +270,32 @@ def _mp_context():
     return None
 
 
+def _warm_token(token: int) -> int:
+    """Trivial worker task: forces the pool to actually start a process."""
+    return token
+
+
+def make_pool(
+    jobs: Optional[int] = None, warm: bool = True
+) -> ProcessPoolExecutor:
+    """A live executor pool for reuse across :func:`run_requests` calls.
+
+    ``ProcessPoolExecutor`` starts workers lazily, so a freshly built pool
+    still pays the spawn cost on its first batch; ``warm=True`` runs one
+    trivial task per worker up front, moving that cost to pool creation.
+    Back-to-back sweeps that pass the same live pool to
+    :func:`run_requests`/:func:`execute_requests` then pay it once instead
+    of once per call — the small-host overhead that made ``--jobs`` a loss
+    on 1–2 core machines (docs/PERFORMANCE.md §7).  The caller owns the
+    pool and must ``shutdown()`` it (or use it as a context manager).
+    """
+    workers = resolve_jobs(jobs)
+    pool = ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context())
+    if warm:
+        list(pool.map(_warm_token, range(workers)))
+    return pool
+
+
 def _check_picklable(requests: Sequence[RunRequest]) -> None:
     for request in requests:
         try:
@@ -189,8 +310,24 @@ def _check_picklable(requests: Sequence[RunRequest]) -> None:
             ) from exc
 
 
+def _harvest(
+    requests: Sequence[RunRequest], pool: ProcessPoolExecutor
+) -> List[RunOutcome]:
+    """Fan *requests* over *pool* and merge results in submission order."""
+    outcomes: List[RunOutcome] = []
+    futures = [pool.submit(execute_request, request) for request in requests]
+    for index, (request, future) in enumerate(zip(requests, futures)):
+        try:
+            outcomes.append(RunOutcome(index, request, metrics=future.result()))
+        except Exception as exc:  # noqa: BLE001 - captured per-run by design
+            outcomes.append(RunOutcome(index, request, error=exc))
+    return outcomes
+
+
 def execute_requests(
-    requests: Sequence[RunRequest], jobs: Optional[int] = None
+    requests: Sequence[RunRequest],
+    jobs: Optional[int] = None,
+    pool: Optional[ProcessPoolExecutor] = None,
 ) -> List[RunOutcome]:
     """Run every request; never raises for a failing *run*.
 
@@ -198,8 +335,16 @@ def execute_requests(
     order, one per request: a crashed or deadlocked run yields its typed
     exception in :attr:`RunOutcome.error` while every other run's metrics
     are preserved.
+
+    *pool* is an optional **live** executor (see :func:`make_pool`): when
+    given it is used as-is and left running afterwards, so back-to-back
+    sweeps amortize worker spawn instead of paying it per call.  ``jobs``
+    is ignored in that case — the pool's own worker count governs.
     """
     requests = list(requests)
+    if pool is not None:
+        _check_picklable(requests)
+        return _harvest(requests, pool)
     workers = min(resolve_jobs(jobs), len(requests)) if requests else 1
     outcomes: List[RunOutcome] = []
     if workers <= 1:
@@ -212,18 +357,14 @@ def execute_requests(
                 outcomes.append(RunOutcome(index, request, error=exc))
         return outcomes
     _check_picklable(requests)
-    with ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context()) as pool:
-        futures = [pool.submit(execute_request, request) for request in requests]
-        for index, (request, future) in enumerate(zip(requests, futures)):
-            try:
-                outcomes.append(RunOutcome(index, request, metrics=future.result()))
-            except Exception as exc:  # noqa: BLE001 - captured per-run by design
-                outcomes.append(RunOutcome(index, request, error=exc))
-    return outcomes
+    with ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context()) as owned:
+        return _harvest(requests, owned)
 
 
 def run_requests(
-    requests: Sequence[RunRequest], jobs: Optional[int] = None
+    requests: Sequence[RunRequest],
+    jobs: Optional[int] = None,
+    pool: Optional[ProcessPoolExecutor] = None,
 ) -> List[RunMetrics]:
     """Run every request and return metrics in submission order.
 
@@ -232,14 +373,15 @@ def run_requests(
     ``SimDeadlockError.tick``/``.blocked`` and ``VerificationError
     .violations`` intact even when the failure happened in a worker.
     Callers that need the surviving results around a failure use
-    :func:`execute_requests` instead.
+    :func:`execute_requests` instead.  A live *pool* (:func:`make_pool`)
+    is reused and left running, exactly as in :func:`execute_requests`.
     """
     requests = list(requests)
-    if min(resolve_jobs(jobs), len(requests) or 1) <= 1:
+    if pool is None and min(resolve_jobs(jobs), len(requests) or 1) <= 1:
         # Pure serial fast path: no outcome wrappers, abort at first error
         # exactly like the historical per-figure loops.
         return [execute_request(request) for request in requests]
-    outcomes = execute_requests(requests, jobs=jobs)
+    outcomes = execute_requests(requests, jobs=jobs, pool=pool)
     for outcome in outcomes:
         if outcome.error is not None:
             raise outcome.error

@@ -1,0 +1,148 @@
+"""The serve client: submit / status / result / drain / stop over a spool.
+
+A thin, daemon-free view of one :class:`~repro.serve.spool.Spool`: submit
+pickles a :class:`~repro.eval.parallel.RunRequest` into ``jobs/``, result
+polls ``results/<job_id>.result`` and either returns the deserialized
+:class:`~repro.eval.metrics.RunMetrics` or re-raises the job's *typed*
+error — a deadlocked run raises its :class:`~repro.errors
+.SimDeadlockError` with ``.tick``/``.blocked`` intact, an admission
+rejection its :class:`~repro.errors.AdmissionError` with
+``.depth``/``.limit`` — exactly as if the run had happened in-process.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import Dict, List, Optional
+
+from repro.errors import JobNotFoundError, ServeError
+from repro.eval.metrics import RunMetrics
+from repro.eval.parallel import RunRequest
+from repro.serve.spool import Spool
+
+DEFAULT_TIMEOUT_S = 300.0
+
+
+class ServeClient:
+    """Client handle on one spool directory (see module docstring)."""
+
+    def __init__(self, spool) -> None:
+        self.spool = spool if isinstance(spool, Spool) else Spool(spool)
+
+    # ------------------------------------------------------------------ submit
+    def submit(
+        self,
+        request: RunRequest,
+        priority: int = 0,
+        estimate: Optional[float] = None,
+    ) -> str:
+        """Spool one request; returns the job id immediately."""
+        return self.spool.submit(request, priority=priority, estimate=estimate)
+
+    # ------------------------------------------------------------------ status
+    def status(self, job_id: str) -> Dict:
+        """One job's status snapshot: pending, or its terminal payload."""
+        payload = self.spool.read_result(job_id)
+        if payload is not None:
+            return {
+                "job_id": job_id,
+                "state": payload["state"],
+                "cache_hit": payload.get("cache_hit", False),
+                "wait_s": payload.get("wait_s"),
+                "service_s": payload.get("service_s"),
+            }
+        if self.spool.has_pending(job_id):
+            return {"job_id": job_id, "state": "pending"}
+        # Claimed by the daemon but not yet finished — or never submitted;
+        # the spool cannot tell those apart, the daemon heartbeat can.
+        return {"job_id": job_id, "state": "in-service"}
+
+    def stats(self) -> Optional[Dict]:
+        """The daemon's latest heartbeat document (None before first beat)."""
+        return self.spool.read_status()
+
+    def ping(self) -> bool:
+        """True when a daemon has registered a pid on this spool."""
+        return self.spool.read_pid() is not None
+
+    # ------------------------------------------------------------------ result
+    def result_payload(
+        self, job_id: str, timeout: Optional[float] = DEFAULT_TIMEOUT_S,
+        poll_s: float = 0.02,
+    ) -> Dict:
+        """Block until the job's terminal payload lands; returns it raw."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            payload = self.spool.read_result(job_id)
+            if payload is not None:
+                return payload
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServeError(
+                    f"timed out after {timeout:g}s waiting for job "
+                    f"{job_id!r}; is a daemon serving this spool? "
+                    f"(`repro serve status`)"
+                )
+            time.sleep(poll_s)
+
+    def result(
+        self, job_id: str, timeout: Optional[float] = DEFAULT_TIMEOUT_S
+    ) -> RunMetrics:
+        """The job's metrics — or its typed error, re-raised."""
+        payload = self.result_payload(job_id, timeout=timeout)
+        error = payload.get("error")
+        if error is not None:
+            raise error
+        blob = payload.get("metrics_bytes")
+        if blob is None:
+            raise JobNotFoundError(
+                f"job {job_id!r} ended {payload['state']!r} with no metrics"
+            )
+        return pickle.loads(blob)
+
+    def results(
+        self,
+        job_ids: List[str],
+        timeout: Optional[float] = DEFAULT_TIMEOUT_S,
+    ) -> List[RunMetrics]:
+        """Metrics for every job, in the given (submission) order."""
+        return [self.result(job_id, timeout=timeout) for job_id in job_ids]
+
+    # ----------------------------------------------------------------- control
+    def drain(
+        self, timeout: Optional[float] = DEFAULT_TIMEOUT_S,
+        poll_s: float = 0.05,
+    ) -> None:
+        """Ask the daemon to finish everything accepted; block until acked."""
+        token = self.spool.request_drain()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self.spool.drain_acked(token):
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServeError(
+                    f"drain not acknowledged after {timeout:g}s; is a "
+                    "daemon serving this spool?"
+                )
+            time.sleep(poll_s)
+
+    def stop(
+        self, timeout: Optional[float] = DEFAULT_TIMEOUT_S,
+        poll_s: float = 0.05, wait: bool = True,
+    ) -> None:
+        """Ask the daemon to stop; idempotent from the client side too.
+
+        With ``wait=True`` blocks until the daemon clears its pid file
+        (in-flight jobs finished, pool released).  Stopping a spool with
+        no live daemon just leaves the marker for the next daemon, which
+        clears stale control files at startup.
+        """
+        self.spool.request_stop()
+        if not wait or not self.ping():
+            return
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self.spool.read_pid() is not None:
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServeError(
+                    f"daemon did not stop within {timeout:g}s (pid "
+                    f"{self.spool.read_pid()})"
+                )
+            time.sleep(poll_s)

@@ -1,0 +1,195 @@
+"""The filesystem spool: the daemon's client-facing wire protocol.
+
+``repro serve`` talks over a plain directory instead of a socket: a
+submission is an atomically-renamed pickle in ``jobs/``, a result is an
+atomically-renamed pickle in ``results/<job_id>.result``, and control
+actions (drain, stop) are marker files in ``control/``.  Atomic rename is
+the whole protocol — a reader never observes a half-written file, any
+number of client processes can submit concurrently, and everything works
+on any local filesystem with no daemon-side accept loop to crash.  Job
+ids embed a nanosecond timestamp + pid + per-process counter, so
+lexicographic filename order *is* cross-client submission order and the
+daemon's FIFO policy stays meaningful across processes.
+
+Layout under one spool root::
+
+    jobs/<job_id>.job          pending submissions (daemon deletes on claim)
+    results/<job_id>.result    terminal payloads (pickle: state/metrics/error)
+    cache/<sha256>.pkl         the content-addressed result cache
+    control/stop               stop marker (daemon exits after in-flight work)
+    control/drain-<token>      drain request; acked as drained-<token>
+    status.json                heartbeat: queue depth, cache stats, metrics
+    events.jsonl               per-job JSONL event log (see repro.obs docs)
+    daemon.pid                 liveness marker for `repro serve status`
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import pickle
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.eval.parallel import CACHE_PICKLE_PROTOCOL, RunRequest
+
+_JOB_SUFFIX = ".job"
+_RESULT_SUFFIX = ".result"
+
+_local_counter = itertools.count()
+
+
+def new_job_id() -> str:
+    """Sortable, collision-free job id (timestamp.pid.counter.nonce)."""
+    return (
+        f"{time.time_ns():020d}-{os.getpid():07d}"
+        f"-{next(_local_counter):06d}-{uuid.uuid4().hex[:8]}"
+    )
+
+
+def _atomic_write(path: Path, payload: bytes) -> None:
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+    tmp.write_bytes(payload)
+    os.replace(tmp, path)
+
+
+class Spool:
+    """One spool root, shared by a daemon and any number of clients."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.results_dir = self.root / "results"
+        self.cache_dir = self.root / "cache"
+        self.control_dir = self.root / "control"
+        for directory in (
+            self.jobs_dir, self.results_dir, self.cache_dir, self.control_dir
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------- submissions
+    def submit(
+        self,
+        request: RunRequest,
+        priority: int = 0,
+        estimate: Optional[float] = None,
+    ) -> str:
+        """Spool one request; returns its job id."""
+        job_id = new_job_id()
+        payload = pickle.dumps(
+            {
+                "job_id": job_id,
+                "request": request,
+                "priority": priority,
+                "estimate": estimate,
+            },
+            protocol=CACHE_PICKLE_PROTOCOL,
+        )
+        _atomic_write(self.jobs_dir / f"{job_id}{_JOB_SUFFIX}", payload)
+        return job_id
+
+    def pending_jobs(self) -> List[Path]:
+        """Unclaimed submissions, in cross-client submission order."""
+        return sorted(
+            p for p in self.jobs_dir.iterdir()
+            if p.suffix == _JOB_SUFFIX and not p.name.startswith(".")
+        )
+
+    def claim(self, path: Path) -> Optional[Dict]:
+        """Read-and-delete one submission (None if another reader won)."""
+        try:
+            payload = path.read_bytes()
+            path.unlink()
+        except FileNotFoundError:
+            return None
+        return pickle.loads(payload)
+
+    # ----------------------------------------------------------------- results
+    def write_result(self, job_id: str, payload: Dict) -> None:
+        _atomic_write(
+            self.results_dir / f"{job_id}{_RESULT_SUFFIX}",
+            pickle.dumps(payload, protocol=CACHE_PICKLE_PROTOCOL),
+        )
+
+    def read_result(self, job_id: str) -> Optional[Dict]:
+        path = self.results_dir / f"{job_id}{_RESULT_SUFFIX}"
+        try:
+            return pickle.loads(path.read_bytes())
+        except FileNotFoundError:
+            return None
+
+    def has_pending(self, job_id: str) -> bool:
+        """True while the submission file exists unclaimed."""
+        return (self.jobs_dir / f"{job_id}{_JOB_SUFFIX}").exists()
+
+    # ----------------------------------------------------------------- control
+    @property
+    def stop_file(self) -> Path:
+        return self.control_dir / "stop"
+
+    def request_stop(self) -> None:
+        _atomic_write(self.stop_file, b"stop\n")
+
+    def stop_requested(self) -> bool:
+        return self.stop_file.exists()
+
+    def request_drain(self) -> str:
+        token = uuid.uuid4().hex[:12]
+        _atomic_write(self.control_dir / f"drain-{token}", b"drain\n")
+        return token
+
+    def pending_drains(self) -> List[Path]:
+        return sorted(self.control_dir.glob("drain-*"))
+
+    def ack_drain(self, path: Path) -> None:
+        token = path.name[len("drain-"):]
+        _atomic_write(self.control_dir / f"drained-{token}", b"drained\n")
+        path.unlink(missing_ok=True)
+
+    def drain_acked(self, token: str) -> bool:
+        return (self.control_dir / f"drained-{token}").exists()
+
+    def clear_control(self) -> None:
+        """Remove stale control markers (a daemon starting fresh)."""
+        for path in self.control_dir.iterdir():
+            path.unlink(missing_ok=True)
+
+    # --------------------------------------------------------------- heartbeat
+    @property
+    def status_path(self) -> Path:
+        return self.root / "status.json"
+
+    @property
+    def pid_path(self) -> Path:
+        return self.root / "daemon.pid"
+
+    @property
+    def events_path(self) -> Path:
+        return self.root / "events.jsonl"
+
+    def write_status(self, status: Dict) -> None:
+        _atomic_write(
+            self.status_path,
+            (json.dumps(status, sort_keys=True, indent=2) + "\n").encode(),
+        )
+
+    def read_status(self) -> Optional[Dict]:
+        try:
+            return json.loads(self.status_path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def write_pid(self) -> None:
+        _atomic_write(self.pid_path, f"{os.getpid()}\n".encode())
+
+    def read_pid(self) -> Optional[int]:
+        try:
+            return int(self.pid_path.read_text().strip())
+        except (FileNotFoundError, ValueError):
+            return None
+
+    def clear_pid(self) -> None:
+        self.pid_path.unlink(missing_ok=True)

@@ -1,0 +1,162 @@
+"""ServeExecutor: the run_requests-shaped surface over the serve layer.
+
+The contract under test is substitution: anywhere ``run_requests`` goes —
+``repro batch``, the load sweep, the burst autotuner — a
+:class:`~repro.serve.ServeExecutor` must produce byte-identical results,
+embedded or over a spool, cached or fresh.  Plus the warm-pool satellite:
+``run_requests(pool=...)`` reuses a live executor without changing a bit.
+"""
+
+import dataclasses
+import threading
+
+import pytest
+
+from repro.errors import AdmissionError, ConfigError
+from repro.eval.batch import run_batch
+from repro.eval.parallel import RunRequest, make_pool, run_requests
+from repro.eval.runner import setting_by_name
+from repro.serve import ServeDaemon, ServeExecutor, Spool
+
+SCALE = 0.05
+SEED = 0xC0FFEE
+
+
+def _requests(n=4):
+    matrix = [
+        ("ping-pong", "vl"), ("ping-pong", "tuned"),
+        ("incast", "vl"), ("incast", "tuned"),
+    ]
+    return [
+        RunRequest.from_setting(w, setting_by_name(s), scale=SCALE, seed=SEED)
+        for w, s in matrix[:n]
+    ]
+
+
+def _snap(metrics_list):
+    return [dataclasses.asdict(m) for m in metrics_list]
+
+
+# ---------------------------------------------------------------- embedded
+def test_embedded_executor_matches_run_requests():
+    requests = _requests()
+    expected = _snap(run_requests(requests))
+    with ServeExecutor.local(jobs=1) as executor:
+        assert _snap(executor(requests)) == expected
+        # Second pass: pure cache hits, still byte-identical.
+        assert _snap(executor(requests)) == expected
+        assert executor.daemon.cache.hits == len(requests)
+
+
+def test_embedded_executor_retries_past_the_admission_gate():
+    requests = _requests()
+    # max_depth=1 guarantees mid-grid rejections; the executor must treat
+    # them as flow control and still return every result in order.
+    with ServeExecutor.local(jobs=1, max_depth=1) as executor:
+        assert _snap(executor(requests)) == _snap(run_requests(requests))
+
+
+def test_executor_reraises_the_first_typed_failure():
+    from repro.errors import SimDeadlockError
+
+    bad = RunRequest.from_setting(
+        "incast", setting_by_name("never"), scale=SCALE, seed=SEED
+    )
+    with ServeExecutor.local(jobs=1) as executor:
+        with pytest.raises(SimDeadlockError):
+            executor([_requests(1)[0], bad])
+
+
+def test_executor_constructor_contracts():
+    with pytest.raises(ConfigError):
+        ServeExecutor()  # neither backend
+    daemon = ServeDaemon(jobs=1)
+    try:
+        with pytest.raises(ConfigError):
+            ServeExecutor(daemon=daemon, client=object())  # both
+        with pytest.raises(ConfigError):
+            ServeExecutor(daemon=daemon, chunk=0)
+    finally:
+        daemon.stop()
+
+
+# ------------------------------------------------------------------ remote
+def test_remote_executor_matches_run_requests(tmp_path):
+    requests = _requests(2)
+    expected = _snap(run_requests(requests))
+    spool = Spool(tmp_path / "spool")
+    daemon = ServeDaemon(spool=spool, jobs=1)
+    thread = threading.Thread(target=daemon.serve_forever,
+                              kwargs={"poll_s": 0.01}, daemon=True)
+    thread.start()
+    try:
+        executor = ServeExecutor.remote(spool, timeout=120.0)
+        assert _snap(executor(requests)) == expected
+    finally:
+        spool.request_stop()
+        thread.join(timeout=30.0)
+    assert not thread.is_alive()
+
+
+# ------------------------------------------------------------- eval routing
+def test_run_batch_routes_through_the_executor():
+    spec = {
+        "name": "serve-routing",
+        "workloads": ["ping-pong"],
+        "settings": ["vl", "tuned"],
+        "scale": SCALE,
+    }
+    direct = run_batch(spec)
+    with ServeExecutor.local(jobs=1) as executor:
+        served = run_batch(spec, executor=executor)
+    assert served == direct
+
+
+def test_load_experiment_routes_through_the_executor():
+    from repro.eval.load import load_experiment
+
+    kwargs = dict(
+        workload="ping-pong", settings=("tuned",),
+        topologies=("single-bus",), rhos=(0.5,), scale=SCALE,
+    )
+    direct = load_experiment(**kwargs)
+    with ServeExecutor.local(jobs=1) as executor:
+        served = load_experiment(executor=executor, **kwargs)
+    assert served.to_json() == direct.to_json()
+
+
+def test_autotune_burst_routes_through_the_executor():
+    from repro.eval.autotune import autotune_burst
+
+    kwargs = dict(ks=(1, 2), p_mins=(0.75,), scale=0.02)
+    direct = autotune_burst("incast", **kwargs)
+    with ServeExecutor.local(jobs=1) as executor:
+        served = autotune_burst("incast", executor=executor, **kwargs)
+    assert _snap([p.metrics for p in served.points]) == _snap(
+        [p.metrics for p in direct.points]
+    )
+    assert served.best.score == direct.best.score
+    assert served.baseline_score == direct.baseline_score
+
+
+# --------------------------------------------------------------- warm pool
+def test_run_requests_reuses_a_live_pool_byte_identically():
+    requests = _requests(2)
+    expected = _snap(run_requests(requests, jobs=2))
+    pool = make_pool(2)
+    try:
+        first = run_requests(requests, pool=pool)
+        second = run_requests(requests, pool=pool)
+        assert _snap(first) == expected
+        assert _snap(second) == expected
+    finally:
+        pool.shutdown(wait=True)
+
+
+def test_make_pool_is_prewarmed():
+    pool = make_pool(2, warm=True)
+    try:
+        # Warmed pools have already spawned their full complement.
+        assert len(pool._processes) == 2
+    finally:
+        pool.shutdown(wait=True)
